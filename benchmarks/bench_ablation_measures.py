@@ -1,0 +1,149 @@
+"""Ablation: interest measures and split statistics (Section 4.2 +
+DESIGN.md design-decision list).
+
+* **Interest measures** — mining Adult's (age, hours) with support
+  difference, PR, and the Surprising Measure: PR favours purer but
+  smaller bins, support difference favours bigger blunter bins, and the
+  Surprising Measure sits between (the paper's argument for Eq. 13).
+* **Merge alpha** — a stricter merge test keeps more, finer regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.items import Itemset
+from repro.core.miner import ContrastSetMiner
+from repro.core.sdad import sdad_cs
+from repro.dataset import uci
+
+FOCUS = ["age", "hours-per-week"]
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return uci.adult()
+
+
+@pytest.fixture(scope="module")
+def measure_runs(adult):
+    out = {}
+    for measure in ("support_difference", "purity_ratio", "surprising"):
+        config = MinerConfig(
+            k=40, interest_measure=measure, max_tree_depth=2
+        )
+        result = ContrastSetMiner(config).mine(adult, attributes=FOCUS)
+        out[measure] = result
+    return out
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_ablation_interest_measures(benchmark, measure_runs, report):
+    benchmark.pedantic(
+        lambda: ContrastSetMiner(
+            MinerConfig(k=20, interest_measure="surprising",
+                        max_tree_depth=1)
+        ).mine(uci.adult(), attributes=["age"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Interest-measure ablation on Adult (age, hours-per-week)",
+        f"{'measure':<22}{'patterns':>9}{'mean diff':>11}{'mean PR':>9}"
+        f"{'mean cover':>12}",
+    ]
+    stats = {}
+    for measure, result in measure_runs.items():
+        top = result.top(10)
+        stats[measure] = {
+            "diff": _mean(p.support_difference for p in top),
+            "pr": _mean(p.purity_ratio for p in top),
+            "cover": _mean(p.total_count for p in top),
+        }
+        lines.append(
+            f"{measure:<22}{len(result.patterns):>9}"
+            f"{stats[measure]['diff']:>11.2f}"
+            f"{stats[measure]['pr']:>9.2f}"
+            f"{stats[measure]['cover']:>12.0f}"
+        )
+    report("ablation_measures", "\n".join(lines))
+
+    # PR-optimised mining yields purer top patterns...
+    assert stats["purity_ratio"]["pr"] >= stats["support_difference"]["pr"]
+    # ...while difference-optimised mining yields bigger coverage
+    assert (
+        stats["support_difference"]["cover"]
+        >= stats["purity_ratio"]["cover"]
+    )
+    # the Surprising Measure keeps purity above plain difference
+    assert stats["surprising"]["pr"] >= stats["support_difference"]["pr"]
+
+
+def test_ablation_split_statistic(benchmark, adult, report):
+    """Median vs mean split (Section 4.1: "we use median").
+
+    The mean is pulled by skew (Adult's age is right-skewed), shifting
+    boundaries away from the balanced split; both must still locate the
+    planted contrasts.
+    """
+
+    def run(statistic):
+        config = MinerConfig(
+            k=40, split_statistic=statistic, max_tree_depth=1
+        )
+        return ContrastSetMiner(config).mine(adult, attributes=FOCUS)
+
+    median_run = benchmark.pedantic(
+        lambda: run("median"), rounds=1, iterations=1
+    )
+    mean_run = run("mean")
+
+    def summary(result):
+        top = result.top(6)
+        return (
+            f"{len(result.patterns)} patterns, best diff "
+            f"{max(p.support_difference for p in top):.2f}"
+        )
+
+    report(
+        "ablation_split_statistic",
+        "Split-statistic ablation on Adult (age, hours-per-week):\n"
+        f"  median: {summary(median_run)}\n"
+        f"  mean:   {summary(mean_run)}",
+    )
+    assert median_run.patterns and mean_run.patterns
+    best_median = max(
+        p.support_difference for p in median_run.patterns
+    )
+    best_mean = max(p.support_difference for p in mean_run.patterns)
+    # both locate strong contrasts; neither collapses
+    assert best_median > 0.3 and best_mean > 0.3
+
+
+def test_ablation_merge_alpha(benchmark, adult, report):
+    def run(alpha):
+        config = MinerConfig(k=40, merge_alpha=alpha, max_tree_depth=1)
+        return sdad_cs(adult, Itemset(), ["age"], config)
+
+    strict = benchmark.pedantic(
+        lambda: run(0.5), rounds=1, iterations=1
+    )
+    loose = run(0.001)
+
+    report(
+        "ablation_merge_alpha",
+        "Merge-alpha ablation on Adult age:\n"
+        f"  merge_alpha=0.5   -> {len(strict.patterns)} regions\n"
+        f"  merge_alpha=0.001 -> {len(loose.patterns)} regions\n"
+        "(a stricter similarity requirement — higher alpha — blocks "
+        "merges and keeps finer regions)",
+    )
+    # higher merge_alpha = easier to call two spaces 'different' =>
+    # fewer merges => at least as many regions
+    assert len(strict.patterns) >= len(loose.patterns)

@@ -1,0 +1,128 @@
+"""Table 4: mean support difference of the top-k contrasts, 10 datasets
+x {SDAD-CS NP, MVD, Entropy, Cortana}, with the Wilcoxon-Mann-Whitney
+``*`` marker against SDAD-CS NP.
+
+Shape expectations (the substrate is synthetic; see EXPERIMENTS.md):
+
+* SDAD-CS NP and Cortana lead; MVD trails on (almost) every dataset —
+  the paper's headline ordering;
+* datasets keep their bands: strong (Breast, Ionosphere, Shuttle,
+  Spambase) well above weak (Adult, Credit Card, Transfusion);
+* on most datasets Cortana's distribution is statistically close to
+  SDAD-CS NP (the paper's many ``*`` entries).
+
+Default dataset scales are laptop-friendly; pass ``--bench-scale-full``
+for Table 2 sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_algorithms, comparison_table
+from repro.core.config import MinerConfig
+
+DATASETS = [
+    "adult",
+    "spambase",
+    "breast_cancer",
+    "mammography",
+    "transfusion",
+    "shuttle",
+    "credit_card",
+    "census_income",
+    "ionosphere",
+    "covtype",
+]
+
+ALGORITHMS = ("sdad_np", "mvd", "entropy", "cortana")
+
+# Datasets with dozens of attributes get a reduced attribute budget so the
+# bench completes in laptop time; the paper's workstation ran them whole.
+ATTRIBUTE_BUDGET = 12
+
+
+def _config(depth: int) -> MinerConfig:
+    return MinerConfig(k=100, max_tree_depth=depth)
+
+
+def _restrict(dataset):
+    if len(dataset.schema) <= ATTRIBUTE_BUDGET:
+        return dataset
+    return dataset.project(dataset.schema.names[:ATTRIBUTE_BUDGET])
+
+
+@pytest.fixture(scope="module")
+def comparisons(bench_dataset, bench_depth):
+    out = {}
+    for name in DATASETS:
+        dataset = _restrict(bench_dataset(name))
+        out[name] = compare_algorithms(
+            dataset,
+            name,
+            algorithms=ALGORITHMS,
+            config=_config(bench_depth(name)),
+        )
+    return out
+
+
+def test_table4_mean_support_difference(benchmark, comparisons, report):
+    # one representative measurement for pytest-benchmark: the smallest
+    # dataset's full protocol
+    from repro.dataset import uci
+
+    benchmark.pedantic(
+        lambda: compare_algorithms(
+            uci.transfusion(), "transfusion", algorithms=ALGORITHMS,
+            config=_config(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = comparison_table(list(comparisons.values()), ALGORITHMS)
+    report("table4_quantitative", table)
+
+    means = {
+        name: {a: row.mean_difference for a, row in comp.rows.items()}
+        for name, comp in comparisons.items()
+    }
+
+    # headline ordering: SDAD-CS NP or Cortana leads on (nearly) every
+    # dataset, and MVD never meaningfully beats SDAD-CS NP (the paper's
+    # Table 4 has MVD trailing everywhere; we allow a small tolerance —
+    # see EXPERIMENTS.md on ionosphere)
+    led = sum(
+        1
+        for row in means.values()
+        if max(row, key=row.get) in ("sdad_np", "cortana")
+    )
+    assert led >= len(DATASETS) - 1, means
+    for name, row in means.items():
+        assert row["mvd"] <= row["sdad_np"] + 0.1, (name, row)
+
+    # signal bands: strong datasets clear their band, weak stay under
+    for strong in ("breast_cancer", "ionosphere"):
+        assert means[strong]["sdad_np"] > 0.5, (strong, means[strong])
+    assert means["shuttle"]["sdad_np"] > 0.4, means["shuttle"]
+    for weak in ("adult", "credit_card", "transfusion"):
+        assert (
+            means[weak]["sdad_np"]
+            < means["breast_cancer"]["sdad_np"]
+        ), (weak, means[weak])
+
+    # the paper's * pattern: Cortana tracks SDAD-CS NP closely on at
+    # least half the datasets (our Cortana re-implementation stacks
+    # redundant strong conditions a bit more aggressively than the
+    # original tool, so the band is 0.15 — see EXPERIMENTS.md)
+    close = sum(
+        1
+        for comp in comparisons.values()
+        if comp.rows["cortana"].statistically_same_as_reference
+        or abs(
+            comp.rows["cortana"].mean_difference
+            - comp.rows["sdad_np"].mean_difference
+        )
+        < 0.15
+    )
+    assert close >= len(DATASETS) // 2

@@ -1,0 +1,65 @@
+"""Clinical screening workflow: mine, validate on holdout, explain.
+
+Uses the Breast Cancer and Mammography stand-ins to demonstrate a
+responsible discovery workflow on diagnostic data:
+
+1. split the data into train/holdout (stratified);
+2. mine contrast patterns between benign and malignant cases on train;
+3. re-test every pattern on the holdout and keep the survivors;
+4. print a plain-language briefing of the validated findings.
+
+Run:  python examples/clinical_screening.py
+"""
+
+from __future__ import annotations
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.analysis import briefing, pattern_table, validate_patterns
+from repro.dataset import uci
+from repro.dataset.sampling import train_holdout_split
+
+
+def screen(dataset, name: str) -> None:
+    print("=" * 72)
+    print(f"{name}: {dataset.describe()}")
+    print("=" * 72)
+
+    train, holdout = train_holdout_split(dataset, 0.35, seed=11)
+    config = MinerConfig(
+        delta=0.15,
+        k=30,
+        max_tree_depth=2,
+        interest_measure="support_difference",
+    )
+    result = ContrastSetMiner(config).mine(train)
+    meaningful = result.meaningful()
+    print(
+        f"mined {len(result)} patterns on {train.n_rows} training rows; "
+        f"{len(meaningful)} meaningful"
+    )
+
+    validation = validate_patterns(
+        meaningful, holdout, delta=config.delta, alpha=config.alpha
+    )
+    print(f"holdout validation: {validation.formatted()}")
+    survivors = validation.survivors()
+
+    print()
+    print(
+        pattern_table(
+            survivors[:8],
+            title=f"Validated contrasts ({name})",
+        )
+    )
+    print()
+    print(briefing(survivors, max_items=3, title="Clinical briefing"))
+    print()
+
+
+def main() -> None:
+    screen(uci.breast_cancer(), "Breast Cancer (Wisconsin)")
+    screen(uci.mammography(), "Mammographic masses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Survey of the four simulated datasets (Sections 5.1-5.4, Figure 3).
+
+For each simulated dataset, runs SDAD-CS and the three baselines and
+prints the bin boundaries each algorithm discovers, annotated with the
+claim from the paper that the dataset was designed to test.
+
+Run:  python examples/simulated_survey.py
+"""
+
+from __future__ import annotations
+
+from repro import MinerConfig
+from repro.analysis import pattern_table, run_algorithm
+from repro.dataset import synthetic
+
+CLAIMS = {
+    "simulated_dataset_1": (
+        "Separable along Attribute 1 only (PR = 1): SDAD-CS should find "
+        "just the level-1 boundary; MVD chases the correlation instead."
+    ),
+    "simulated_dataset_2": (
+        "An 'X' of two Gaussians: no univariate rule exists; the contrast "
+        "only appears when both attributes are combined."
+    ),
+    "simulated_dataset_3": (
+        "Uniform square split at Attribute 1 = 0.5: level-1 contrasts "
+        "only; deeper patterns are meaningless."
+    ),
+    "simulated_dataset_4": (
+        "Group 2 lives in two corner boxes: level-2 interactions; the "
+        "level-1 projections are not independently productive."
+    ),
+}
+
+
+def main() -> None:
+    config = MinerConfig(k=20, interest_measure="surprising")
+    for name, claim in CLAIMS.items():
+        dataset = getattr(synthetic, name)()
+        print("=" * 78)
+        print(f"{name}: {claim}")
+        print("=" * 78)
+        for algorithm in ("sdad", "mvd", "entropy", "cortana"):
+            result = run_algorithm(algorithm, dataset, config)
+            print(
+                pattern_table(
+                    result.top(4),
+                    title=f"{result.name} ({len(result.patterns)} found)",
+                )
+            )
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Experiment harnesses: algorithm adapters, Table 4/5/6 protocols, and
+plain-text report rendering."""
+
+from .algorithms import ALGORITHMS, AlgorithmResult, run_algorithm
+from .comparison import (
+    AlgorithmComparison,
+    ComparisonRow,
+    compare_algorithms,
+    mean_top_k_difference,
+)
+from .diversity import DiversityReport, diversity_report
+from .explain import Explanation, briefing, explain_pattern
+from .meaningfulness import MeaningfulnessCensus, census
+from .report import (
+    comparison_table,
+    pattern_table,
+    supports_histogram,
+    timing_table,
+)
+from .scatter import ascii_scatter
+from .validation import (
+    PatternValidation,
+    ValidationReport,
+    validate_patterns,
+)
+
+__all__ = [
+    "DiversityReport",
+    "diversity_report",
+    "Explanation",
+    "briefing",
+    "explain_pattern",
+    "PatternValidation",
+    "ValidationReport",
+    "validate_patterns",
+    "ascii_scatter",
+    "ALGORITHMS",
+    "AlgorithmResult",
+    "run_algorithm",
+    "AlgorithmComparison",
+    "ComparisonRow",
+    "compare_algorithms",
+    "mean_top_k_difference",
+    "MeaningfulnessCensus",
+    "census",
+    "comparison_table",
+    "pattern_table",
+    "supports_histogram",
+    "timing_table",
+]

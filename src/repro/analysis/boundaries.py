@@ -1,0 +1,138 @@
+"""Bin-boundary quality metrics.
+
+The Figure 3 experiments are about *where* each algorithm places its bin
+boundaries relative to the planted truth.  These helpers quantify that:
+
+* :func:`boundary_errors` — for each true boundary, the distance to the
+  nearest discovered cut (recall side);
+* :func:`spurious_cuts` — discovered cuts far from every true boundary
+  (precision side);
+* :func:`pattern_boundaries` — extract the cut points a miner's patterns
+  imply for one attribute.
+
+Used by ``bench_boundary_quality.py`` to score SDAD-CS, MVD, Fayyad and
+Cortana on the simulated datasets where the truth is known.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.contrast import ContrastPattern
+from ..core.items import NumericItem
+
+__all__ = [
+    "BoundaryReport",
+    "boundary_errors",
+    "spurious_cuts",
+    "pattern_boundaries",
+    "boundary_report",
+]
+
+
+def pattern_boundaries(
+    patterns: Sequence[ContrastPattern],
+    attribute: str,
+    value_range: tuple[float, float] | None = None,
+) -> list[float]:
+    """Distinct finite cut points the patterns place on one attribute.
+
+    Interval endpoints that coincide with the attribute's observed range
+    (no real constraint) are dropped when ``value_range`` is given.
+    """
+    cuts: set[float] = set()
+    for pattern in patterns:
+        item = pattern.itemset.item_for(attribute)
+        if not isinstance(item, NumericItem):
+            continue
+        for endpoint in (item.interval.lo, item.interval.hi):
+            if math.isinf(endpoint):
+                continue
+            if value_range is not None:
+                lo, hi = value_range
+                span = (hi - lo) or 1.0
+                if (
+                    abs(endpoint - lo) / span < 0.005
+                    or abs(endpoint - hi) / span < 0.005
+                ):
+                    continue
+            cuts.add(float(endpoint))
+    return sorted(cuts)
+
+
+def boundary_errors(
+    found: Sequence[float], truth: Sequence[float]
+) -> list[float]:
+    """Distance from each true boundary to the nearest found cut
+    (``inf`` when nothing was found)."""
+    out = []
+    for t in truth:
+        if not found:
+            out.append(math.inf)
+        else:
+            out.append(min(abs(t - f) for f in found))
+    return out
+
+
+def spurious_cuts(
+    found: Sequence[float],
+    truth: Sequence[float],
+    tolerance: float,
+) -> list[float]:
+    """Found cuts farther than ``tolerance`` from every true boundary."""
+    return [
+        f
+        for f in found
+        if not truth or min(abs(f - t) for t in truth) > tolerance
+    ]
+
+
+@dataclass(frozen=True)
+class BoundaryReport:
+    attribute: str
+    found: tuple[float, ...]
+    truth: tuple[float, ...]
+    errors: tuple[float, ...]
+    spurious: tuple[float, ...]
+
+    @property
+    def worst_error(self) -> float:
+        return max(self.errors) if self.errors else 0.0
+
+    @property
+    def n_spurious(self) -> int:
+        return len(self.spurious)
+
+    @property
+    def recovered_all(self) -> bool:
+        return all(not math.isinf(e) for e in self.errors)
+
+    def formatted(self, tolerance: float) -> str:
+        hits = sum(1 for e in self.errors if e <= tolerance)
+        return (
+            f"{self.attribute}: {hits}/{len(self.truth)} true boundaries "
+            f"within {tolerance:g} (worst error "
+            f"{self.worst_error:.3g}), {self.n_spurious} spurious cuts"
+        )
+
+
+def boundary_report(
+    patterns: Sequence[ContrastPattern],
+    attribute: str,
+    truth: Sequence[float],
+    tolerance: float = 0.05,
+    value_range: tuple[float, float] | None = None,
+) -> BoundaryReport:
+    """Score a pattern list's boundaries on one attribute against truth."""
+    found = pattern_boundaries(patterns, attribute, value_range)
+    return BoundaryReport(
+        attribute=attribute,
+        found=tuple(found),
+        truth=tuple(truth),
+        errors=tuple(boundary_errors(found, truth)),
+        spurious=tuple(spurious_cuts(found, truth, tolerance)),
+    )

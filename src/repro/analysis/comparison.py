@@ -1,0 +1,123 @@
+"""Quantitative comparison harness (paper Section 5.6, Table 4).
+
+The paper compares algorithms by the *mean difference in support* of their
+top-k contrasts, where ``k`` is the smallest number of contrasts any
+algorithm found (capped at 100), patterns are sorted by decreasing
+difference, and a Wilcoxon-Mann-Whitney test marks algorithms whose top-k
+distribution is not significantly different from the reference
+(SDAD-CS NP) with ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.config import MinerConfig
+from ..core.contrast import ContrastPattern
+from ..core.stats import mann_whitney_u
+from ..dataset.table import Dataset
+from .algorithms import ALGORITHMS, AlgorithmResult, run_algorithm
+
+__all__ = [
+    "mean_top_k_difference",
+    "AlgorithmComparison",
+    "ComparisonRow",
+    "compare_algorithms",
+]
+
+
+def mean_top_k_difference(
+    patterns: Sequence[ContrastPattern], k: int
+) -> float:
+    """Mean support difference of the k best patterns (by difference)."""
+    if k < 1 or not patterns:
+        return 0.0
+    ranked = sorted(patterns, key=lambda p: -p.support_difference)[:k]
+    return sum(p.support_difference for p in ranked) / len(ranked)
+
+
+@dataclass
+class ComparisonRow:
+    """One algorithm's entry in a Table 4 row."""
+
+    algorithm: str
+    mean_difference: float
+    n_found: int
+    p_value_vs_reference: float
+    elapsed_seconds: float
+    partitions_evaluated: int
+
+    @property
+    def statistically_same_as_reference(self) -> bool:
+        """The paper's ``*`` marker (WMW not significant at 0.05)."""
+        return self.p_value_vs_reference >= 0.05
+
+    def formatted(self) -> str:
+        star = "*" if self.statistically_same_as_reference else ""
+        return f"{self.mean_difference:.2f}{star}"
+
+
+@dataclass
+class AlgorithmComparison:
+    """All algorithms compared on one dataset."""
+
+    dataset_name: str
+    k_used: int
+    rows: dict[str, ComparisonRow] = field(default_factory=dict)
+    reference: str = "sdad_np"
+
+    def row(self, algorithm: str) -> ComparisonRow:
+        return self.rows[algorithm]
+
+
+def compare_algorithms(
+    dataset: Dataset,
+    dataset_name: str = "dataset",
+    algorithms: Sequence[str] = ("sdad_np", "mvd", "entropy", "cortana"),
+    config: MinerConfig | None = None,
+    k_cap: int = 100,
+    reference: str | None = None,
+) -> AlgorithmComparison:
+    """Run the Table 4 protocol on one dataset.
+
+    The first algorithm in ``algorithms`` is the WMW reference unless
+    ``reference`` names another one.
+    """
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    reference = reference or algorithms[0]
+    if reference not in algorithms:
+        raise ValueError("reference must be among the algorithms")
+
+    results: dict[str, AlgorithmResult] = {
+        name: run_algorithm(name, dataset, config) for name in algorithms
+    }
+    counts = [len(r.patterns) for r in results.values() if r.patterns]
+    k = min([k_cap, *counts]) if counts else k_cap
+    k = max(k, 1)
+
+    def top_diffs(result: AlgorithmResult) -> list[float]:
+        ranked = sorted(
+            result.patterns, key=lambda p: -p.support_difference
+        )[:k]
+        return [p.support_difference for p in ranked]
+
+    reference_diffs = top_diffs(results[reference])
+    comparison = AlgorithmComparison(dataset_name, k, reference=reference)
+    for name, result in results.items():
+        diffs = top_diffs(result)
+        p_value = (
+            1.0
+            if name == reference
+            else mann_whitney_u(diffs, reference_diffs)
+        )
+        comparison.rows[name] = ComparisonRow(
+            algorithm=result.name,
+            mean_difference=(sum(diffs) / len(diffs)) if diffs else 0.0,
+            n_found=len(result.patterns),
+            p_value_vs_reference=p_value,
+            elapsed_seconds=result.elapsed_seconds,
+            partitions_evaluated=result.partitions_evaluated,
+        )
+    return comparison

@@ -1,0 +1,85 @@
+"""Pattern-set diversity metrics.
+
+The paper's central quality argument is qualitative: Cortana's top-k "seem
+to be redundant and cumbersome to interpret" while SDAD-CS "finds fewer
+and more meaningful itemsets".  These metrics quantify that claim so the
+ablation bench can print a number instead of an anecdote:
+
+* **mean pairwise Jaccard overlap** of the patterns' covered row sets —
+  1 means every pattern covers the same rows (pure redundancy);
+* **attribute diversity** — distinct attributes used / total item slots;
+* **coverage** — fraction of all rows covered by at least one pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.contrast import ContrastPattern
+from ..dataset.table import Dataset
+
+__all__ = ["DiversityReport", "diversity_report", "mean_pairwise_jaccard"]
+
+
+def mean_pairwise_jaccard(masks: Sequence[np.ndarray]) -> float:
+    """Mean Jaccard similarity over all pattern pairs (0 = disjoint,
+    1 = identical coverage)."""
+    n = len(masks)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            union = int((masks[i] | masks[j]).sum())
+            if union == 0:
+                continue
+            inter = int((masks[i] & masks[j]).sum())
+            total += inter / union
+            pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    n_patterns: int
+    mean_jaccard: float
+    attribute_diversity: float
+    coverage: float
+
+    def formatted(self) -> str:
+        return (
+            f"{self.n_patterns} patterns: "
+            f"mean pairwise Jaccard {self.mean_jaccard:.2f}, "
+            f"attribute diversity {self.attribute_diversity:.2f}, "
+            f"row coverage {self.coverage:.2f}"
+        )
+
+
+def diversity_report(
+    patterns: Sequence[ContrastPattern],
+    dataset: Dataset,
+    top: int | None = None,
+) -> DiversityReport:
+    """Compute the three diversity metrics for a pattern list."""
+    patterns = list(patterns[:top] if top else patterns)
+    if not patterns:
+        return DiversityReport(0, 0.0, 0.0, 0.0)
+    masks = [p.itemset.cover(dataset) for p in patterns]
+    distinct_attrs: set[str] = set()
+    slots = 0
+    for pattern in patterns:
+        distinct_attrs.update(pattern.itemset.attributes)
+        slots += max(1, len(pattern.itemset))
+    union = masks[0].copy()
+    for mask in masks[1:]:
+        union |= mask
+    return DiversityReport(
+        n_patterns=len(patterns),
+        mean_jaccard=mean_pairwise_jaccard(masks),
+        attribute_diversity=len(distinct_attrs) / slots,
+        coverage=float(union.mean()) if dataset.n_rows else 0.0,
+    )

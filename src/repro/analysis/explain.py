@@ -1,0 +1,119 @@
+"""Plain-language explanations of contrast patterns.
+
+The paper's target user is a process engineer, not a data miner
+(Section 6: "The patterns shown here can be easily interpreted by
+engineers").  This module turns a :class:`ContrastPattern` into the
+sentence that engineer acts on — which rows, how large the effect, how
+confident — and ranks a result list into a short briefing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.contrast import ContrastPattern
+from ..core.items import CategoricalItem, NumericItem
+from ..dataset.table import Dataset
+
+__all__ = ["Explanation", "explain_pattern", "briefing"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    pattern: ContrastPattern
+    headline: str
+    detail: str
+    effect_ratio: float
+    """How many times more frequent the covered condition is in the
+    dominant group ( inf-safe: capped at 999)."""
+
+    def __str__(self) -> str:
+        return f"{self.headline}\n  {self.detail}"
+
+
+def _condition_phrase(pattern: ContrastPattern) -> str:
+    parts = []
+    for item in pattern.itemset:
+        if isinstance(item, CategoricalItem):
+            parts.append(f"{item.attribute} is {item.value}")
+        else:
+            assert isinstance(item, NumericItem)
+            iv = item.interval
+            import math
+
+            if math.isinf(iv.lo) and not math.isinf(iv.hi):
+                parts.append(f"{item.attribute} is at most {iv.hi:g}")
+            elif math.isinf(iv.hi) and not math.isinf(iv.lo):
+                parts.append(f"{item.attribute} is above {iv.lo:g}")
+            else:
+                parts.append(
+                    f"{item.attribute} is between {iv.lo:g} and {iv.hi:g}"
+                )
+    if not parts:
+        return "any row"
+    return " and ".join(parts)
+
+
+def explain_pattern(pattern: ContrastPattern) -> Explanation:
+    """One pattern -> one explanation."""
+    dominant = pattern.dominant_group
+    dom_index = pattern.group_labels.index(dominant)
+    others = [
+        (label, supp)
+        for label, supp in zip(pattern.group_labels, pattern.supports)
+        if label != dominant
+    ]
+    other_label, other_supp = max(others, key=lambda t: t[1])
+    dom_supp = pattern.supports[dom_index]
+
+    if other_supp > 0:
+        ratio = min(dom_supp / other_supp, 999.0)
+        ratio_text = f"{ratio:.1f}x more common"
+    else:
+        ratio = 999.0
+        ratio_text = "present exclusively"
+
+    condition = _condition_phrase(pattern)
+    headline = (
+        f"Where {condition}: {ratio_text} in '{dominant}' "
+        f"({dom_supp:.0%} vs {other_supp:.0%} of '{other_label}')"
+    )
+    detail = (
+        f"covers {pattern.total_count} rows; support difference "
+        f"{pattern.support_difference:.2f}, purity {pattern.purity_ratio:.2f}, "
+        f"p-value {pattern.significance_p_value:.2g}"
+    )
+    return Explanation(pattern, headline, detail, ratio)
+
+
+def briefing(
+    patterns: Sequence[ContrastPattern],
+    max_items: int = 5,
+    title: str = "Contrast briefing",
+) -> str:
+    """A short ranked briefing over a pattern list.
+
+    Patterns are grouped by dominant group so the reader sees "what
+    characterises the failures" separately from "what characterises the
+    healthy population".
+    """
+    lines = [title, "=" * len(title)]
+    if not patterns:
+        lines.append("No significant contrasts were found.")
+        return "\n".join(lines)
+
+    by_group: dict[str, list[ContrastPattern]] = {}
+    for pattern in patterns:
+        by_group.setdefault(pattern.dominant_group, []).append(pattern)
+
+    for group, group_patterns in by_group.items():
+        lines.append(f"\nCharacteristic of '{group}':")
+        ranked = sorted(
+            group_patterns, key=lambda p: -p.support_difference
+        )
+        for i, pattern in enumerate(ranked[:max_items], 1):
+            explanation = explain_pattern(pattern)
+            lines.append(f"  {i}. {explanation.headline}")
+            lines.append(f"     {explanation.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Plain-text rendering of pattern lists and comparison tables.
+
+The benches print these tables so their output can be compared line-by-line
+to the paper's Tables 1, 3, 4, 5, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.contrast import ContrastPattern
+from .comparison import AlgorithmComparison
+
+__all__ = [
+    "pattern_table",
+    "comparison_table",
+    "timing_table",
+    "supports_histogram",
+]
+
+
+def pattern_table(
+    patterns: Sequence[ContrastPattern],
+    title: str = "Contrast Sets",
+    max_rows: int | None = None,
+) -> str:
+    """Render patterns like the paper's Tables 1/3/7: an S.No, the
+    contrast set, and the per-group supports."""
+    rows = list(patterns[:max_rows] if max_rows else patterns)
+    lines = [title, "=" * len(title)]
+    if not rows:
+        lines.append("(no contrasts found)")
+        return "\n".join(lines)
+    labels = rows[0].group_labels
+    header = (
+        f"{'S.No':>4}  {'Contrast Set':<70}"
+        + "".join(f"  Supp({label[:10]})" for label in labels)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, pattern in enumerate(rows, 1):
+        supports = "".join(
+            f"  {supp:>10.2f}" + " " * max(0, len(f"Supp({l[:10]})") - 12)
+            for supp, l in zip(pattern.supports, labels)
+        )
+        lines.append(f"{i:>4}  {str(pattern.itemset):<70}{supports}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    comparisons: Sequence[AlgorithmComparison],
+    algorithms: Sequence[str] = ("sdad_np", "mvd", "entropy", "cortana"),
+) -> str:
+    """Render Table 4: one row per dataset, one column per algorithm,
+    mean support difference with the WMW ``*`` marker."""
+    header = f"{'Dataset':<16}" + "".join(
+        f"{name:>14}" for name in algorithms
+    )
+    lines = ["Mean Support Difference (Table 4 protocol)", header,
+             "-" * len(header)]
+    for comparison in comparisons:
+        cells = []
+        for name in algorithms:
+            row = comparison.rows.get(name)
+            cells.append(f"{row.formatted() if row else '-':>14}")
+        lines.append(f"{comparison.dataset_name:<16}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def timing_table(
+    comparisons: Sequence[AlgorithmComparison],
+    algorithms: Sequence[str] = ("sdad", "mvd", "sdad_np"),
+) -> str:
+    """Render Table 5: seconds and partitions evaluated per algorithm."""
+    header = (
+        f"{'Dataset':<16}"
+        + "".join(f"{name + ' (s)':>14}" for name in algorithms)
+        + "".join(f"{name + ' (parts)':>18}" for name in algorithms)
+    )
+    lines = [
+        "Time and Partitions Evaluated (Table 5 protocol)",
+        header,
+        "-" * len(header),
+    ]
+    for comparison in comparisons:
+        seconds = []
+        partitions = []
+        for name in algorithms:
+            row = comparison.rows.get(name)
+            seconds.append(
+                f"{row.elapsed_seconds:>14.2f}" if row else f"{'-':>14}"
+            )
+            partitions.append(
+                f"{row.partitions_evaluated:>18d}" if row else f"{'-':>18}"
+            )
+        lines.append(
+            f"{comparison.dataset_name:<16}"
+            + "".join(seconds)
+            + "".join(partitions)
+        )
+    return "\n".join(lines)
+
+
+def supports_histogram(
+    bin_labels: Sequence[str],
+    supports_by_group: Mapping[str, Sequence[float]],
+    purity: Sequence[float] | None = None,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """ASCII rendering of the Figure 4 histograms: per-bin group supports
+    (and optionally the purity ratio) over equal-frequency bins."""
+    lines = [title] if title else []
+    groups = list(supports_by_group)
+    for i, label in enumerate(bin_labels):
+        parts = [f"{label:<22}"]
+        for group in groups:
+            value = supports_by_group[group][i]
+            bar = "#" * int(round(value * width))
+            parts.append(f" {group[:8]:<8} {value:5.2f} |{bar:<{width}}|")
+        if purity is not None:
+            parts.append(f" PR={purity[i]:.2f}")
+        lines.append("".join(parts))
+    return "\n".join(lines)

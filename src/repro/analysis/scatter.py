@@ -1,0 +1,99 @@
+"""ASCII scatter plots of 2-D datasets with pattern-box overlays.
+
+The Figure 3 benches and the simulated-survey example use this to render
+what the paper shows graphically: the point cloud of the two groups and
+the axis-aligned boxes each algorithm discovered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.contrast import ContrastPattern
+from ..core.items import NumericItem
+from ..dataset.table import Dataset
+
+__all__ = ["ascii_scatter"]
+
+_GROUP_GLYPHS = ".ox+*"
+_BOX_GLYPH = "#"
+
+
+def ascii_scatter(
+    dataset: Dataset,
+    x: str,
+    y: str,
+    patterns: Sequence[ContrastPattern] = (),
+    width: int = 64,
+    height: int = 24,
+    max_boxes: int = 4,
+) -> str:
+    """Render two continuous attributes as an ASCII scatter plot.
+
+    Each group gets a glyph; the borders of up to ``max_boxes`` pattern
+    boxes (patterns with numeric items on both axes, or one axis — the
+    missing axis spans the full range) are drawn with ``#``.
+    """
+    xv = dataset.column(x)
+    yv = dataset.column(y)
+    if xv.size == 0:
+        return "(empty dataset)"
+    x_lo, x_hi = float(xv.min()), float(xv.max())
+    y_lo, y_hi = float(yv.min()), float(yv.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(value: float) -> int:
+        return min(width - 1, max(0, int((value - x_lo) / x_span
+                                         * (width - 1))))
+
+    def row_of(value: float) -> int:
+        # y grows upward: row 0 is the top
+        return min(
+            height - 1,
+            max(0, int((y_hi - value) / y_span * (height - 1))),
+        )
+
+    codes = np.asarray(dataset.group_codes)
+    for xi, yi, gi in zip(xv, yv, codes):
+        glyph = _GROUP_GLYPHS[int(gi) % len(_GROUP_GLYPHS)]
+        grid[row_of(float(yi))][col_of(float(xi))] = glyph
+
+    for pattern in list(patterns)[:max_boxes]:
+        x_item = pattern.itemset.item_for(x)
+        y_item = pattern.itemset.item_for(y)
+        if not isinstance(x_item, NumericItem):
+            x_item = None
+        if not isinstance(y_item, NumericItem):
+            y_item = None
+        if x_item is None and y_item is None:
+            continue
+        bx_lo = max(x_lo, x_item.interval.lo) if x_item else x_lo
+        bx_hi = min(x_hi, x_item.interval.hi) if x_item else x_hi
+        by_lo = max(y_lo, y_item.interval.lo) if y_item else y_lo
+        by_hi = min(y_hi, y_item.interval.hi) if y_item else y_hi
+        c0, c1 = sorted((col_of(bx_lo), col_of(bx_hi)))
+        r0, r1 = sorted((row_of(by_hi), row_of(by_lo)))
+        for c in range(c0, c1 + 1):
+            grid[r0][c] = _BOX_GLYPH
+            grid[r1][c] = _BOX_GLYPH
+        for r in range(r0, r1 + 1):
+            grid[r][c0] = _BOX_GLYPH
+            grid[r][c1] = _BOX_GLYPH
+
+    legend = "  ".join(
+        f"{_GROUP_GLYPHS[i % len(_GROUP_GLYPHS)]} = {label}"
+        for i, label in enumerate(dataset.group_labels)
+    )
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    footer = (
+        f"{x}: [{x_lo:g}, {x_hi:g}]   {y}: [{y_lo:g}, {y_hi:g}]   "
+        f"{legend}"
+        + (f"   {_BOX_GLYPH} = pattern box" if patterns else "")
+    )
+    return "\n".join([border, body, border, footer])

@@ -1,0 +1,51 @@
+"""Baseline algorithms the paper compares against.
+
+* :func:`~repro.baselines.stucco.stucco` — categorical contrast sets
+  (Bay & Pazzani 2001); the mining engine behind every discretize-first
+  pipeline.
+* :func:`~repro.baselines.mvd.mvd_discretize` — Bay's multivariate
+  discretization (2001).
+* :func:`~repro.baselines.fayyad.fayyad_discretize` — Fayyad & Irani
+  entropy/MDLP (1993).
+* :func:`~repro.baselines.cortana.cortana` — beam-search subgroup
+  discovery with interval bins and WRAcc (the paper's Cortana settings).
+* :func:`~repro.baselines.srikant.srikant_discretize` — Srikant & Agrawal
+  equi-depth partitioning (1996), used in ablations.
+* :class:`~repro.baselines.decision_tree.DecisionTree` — CART, the
+  interpretable-but-greedy comparison the introduction motivates.
+"""
+
+from .cortana import CortanaConfig, CortanaResult, cortana
+from .decision_tree import DecisionTree, TreeConfig, TreeNode, tree_patterns
+from .discretizers import Binning, DiscretizedView, equal_frequency_cuts
+from .fayyad import fayyad_binning, fayyad_discretize
+from .mvd import mvd_binning, mvd_discretize
+from .opus import OpusConfig, OpusResult, OpusRule, opus
+from .srikant import srikant_binning, srikant_discretize
+from .stucco import StuccoConfig, StuccoResult, stucco
+
+__all__ = [
+    "CortanaConfig",
+    "CortanaResult",
+    "cortana",
+    "DecisionTree",
+    "TreeConfig",
+    "TreeNode",
+    "tree_patterns",
+    "Binning",
+    "DiscretizedView",
+    "equal_frequency_cuts",
+    "fayyad_binning",
+    "fayyad_discretize",
+    "mvd_binning",
+    "mvd_discretize",
+    "OpusConfig",
+    "OpusResult",
+    "OpusRule",
+    "opus",
+    "srikant_binning",
+    "srikant_discretize",
+    "StuccoConfig",
+    "StuccoResult",
+    "stucco",
+]

@@ -1,0 +1,315 @@
+"""CART-style decision tree baseline (paper Section 1 motivation).
+
+The introduction argues that decision trees, while interpretable, are the
+wrong tool for *pattern detection*: a single greedy global model commits
+to one split hierarchy, so (a) it finds one explanation rather than all
+contrasts, and (b) greedy gain can be blind to multivariate interactions
+(the XOR example — no single split improves purity, so a greedy tree may
+never discover structure that SDAD-CS's joint space search finds).
+
+This module implements a small Gini-impurity CART over mixed data and an
+extractor that converts root-to-leaf paths into
+:class:`~repro.core.contrast.ContrastPattern` objects, so tree "patterns"
+can be compared directly against mined contrast sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.contrast import ContrastPattern, evaluate_itemset
+from ..core.items import CategoricalItem, Interval, Itemset, NumericItem
+from ..dataset.table import Dataset
+
+__all__ = ["TreeConfig", "TreeNode", "DecisionTree", "tree_patterns"]
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    max_depth: int = 4
+    min_samples_split: int = 20
+    min_samples_leaf: int = 5
+    min_gain: float = 1e-4
+
+
+@dataclass
+class TreeNode:
+    """A node of the fitted tree."""
+
+    counts: np.ndarray
+    depth: int
+    # split description (internal nodes only)
+    attribute: str | None = None
+    threshold: float | None = None  # numeric split: value <= threshold
+    category: int | None = None  # categorical split: code == category
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.counts))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.counts.sum())
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p**2).sum())
+
+
+class DecisionTree:
+    """Greedy CART on a :class:`Dataset`, class = group attribute."""
+
+    def __init__(self, config: TreeConfig | None = None) -> None:
+        self.config = config or TreeConfig()
+        self.root: TreeNode | None = None
+        self._dataset: Dataset | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "DecisionTree":
+        self._dataset = dataset
+        mask = np.ones(dataset.n_rows, dtype=bool)
+        self.root = self._grow(dataset, mask, depth=0)
+        return self
+
+    def _grow(
+        self, dataset: Dataset, mask: np.ndarray, depth: int
+    ) -> TreeNode:
+        counts = dataset.group_counts(mask)
+        node = TreeNode(counts=counts, depth=depth)
+        n = int(counts.sum())
+        if (
+            depth >= self.config.max_depth
+            or n < self.config.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return node
+
+        best = self._best_split(dataset, mask, counts)
+        if best is None:
+            return node
+        gain, attribute, threshold, category, left_mask = best
+        if gain < self.config.min_gain:
+            return node
+
+        node.attribute = attribute
+        node.threshold = threshold
+        node.category = category
+        node.left = self._grow(dataset, mask & left_mask, depth + 1)
+        node.right = self._grow(dataset, mask & ~left_mask, depth + 1)
+        return node
+
+    def _best_split(self, dataset, mask, counts):
+        parent_gini = _gini(counts)
+        n = int(counts.sum())
+        best = None
+        best_gain = -1.0
+        group_codes = np.asarray(dataset.group_codes)
+        for attr in dataset.schema:
+            column = dataset.column(attr.name)
+            if attr.is_continuous:
+                values = column[mask]
+                classes = group_codes[mask]
+                split = self._best_numeric(values, classes,
+                                           dataset.n_groups)
+                if split is None:
+                    continue
+                gain, threshold = split
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (
+                        gain,
+                        attr.name,
+                        threshold,
+                        None,
+                        column <= threshold,
+                    )
+            else:
+                for code in range(attr.cardinality):
+                    left_mask = column == code
+                    inside = mask & left_mask
+                    n_left = int(inside.sum())
+                    n_right = n - n_left
+                    if (
+                        n_left < self.config.min_samples_leaf
+                        or n_right < self.config.min_samples_leaf
+                    ):
+                        continue
+                    left_counts = dataset.group_counts(inside)
+                    right_counts = counts - left_counts
+                    gain = parent_gini - (
+                        n_left / n * _gini(left_counts)
+                        + n_right / n * _gini(right_counts)
+                    )
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = (gain, attr.name, None, code, left_mask)
+        return best
+
+    def _best_numeric(self, values, classes, n_groups):
+        if values.size < 2 * self.config.min_samples_leaf:
+            return None
+        order = np.argsort(values, kind="stable")
+        v = values[order]
+        c = classes[order]
+        boundaries = np.nonzero(np.diff(v) > 0)[0]
+        if boundaries.size == 0:
+            return None
+        n = len(v)
+        onehot = np.zeros((n, n_groups))
+        onehot[np.arange(n), c] = 1.0
+        cum = np.cumsum(onehot, axis=0)
+        total = cum[-1]
+        left = cum[boundaries]
+        right = total - left
+        n_left = left.sum(axis=1)
+        n_right = right.sum(axis=1)
+        valid = (n_left >= self.config.min_samples_leaf) & (
+            n_right >= self.config.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+
+        def gini_rows(counts, sizes):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p = np.divide(
+                    counts,
+                    sizes[:, None],
+                    out=np.zeros_like(counts),
+                    where=sizes[:, None] > 0,
+                )
+            return 1.0 - (p**2).sum(axis=1)
+
+        weighted = n_left / n * gini_rows(left, n_left) + (
+            n_right / n
+        ) * gini_rows(right, n_right)
+        weighted[~valid] = math.inf
+        best = int(np.argmin(weighted))
+        gain = _gini(total.astype(np.int64)) - float(weighted[best])
+        idx = int(boundaries[best])
+        threshold = float((v[idx] + v[idx + 1]) / 2.0)
+        return gain, threshold
+
+    # ------------------------------------------------------------------
+
+    def predict(self, dataset: Dataset) -> np.ndarray:
+        """Predicted group code per row."""
+        if self.root is None:
+            raise RuntimeError("tree not fitted")
+        out = np.empty(dataset.n_rows, dtype=np.int64)
+        self._predict_into(self.root, dataset,
+                           np.ones(dataset.n_rows, dtype=bool), out)
+        return out
+
+    def _predict_into(self, node, dataset, mask, out) -> None:
+        if node.is_leaf:
+            out[mask] = node.prediction
+            return
+        column = dataset.column(node.attribute)
+        if node.threshold is not None:
+            left_mask = column <= node.threshold
+        else:
+            left_mask = column == node.category
+        self._predict_into(node.left, dataset, mask & left_mask, out)
+        self._predict_into(node.right, dataset, mask & ~left_mask, out)
+
+    def accuracy(self, dataset: Dataset) -> float:
+        predictions = self.predict(dataset)
+        return float(
+            (predictions == np.asarray(dataset.group_codes)).mean()
+        )
+
+    def depth(self) -> int:
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def n_leaves(self) -> int:
+        def walk(node):
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root) if self.root else 0
+
+
+def tree_patterns(
+    tree: DecisionTree, dataset: Dataset
+) -> list[ContrastPattern]:
+    """Convert the tree's root-to-leaf paths into contrast patterns.
+
+    Each leaf's path is a conjunction of conditions — the tree's version
+    of an itemset.  Because the tree is one greedy hierarchy, the set of
+    paths is a *partition* of the data, not the set of all contrasts; the
+    comparison bench quantifies what that misses.
+    """
+    if tree.root is None:
+        raise RuntimeError("tree not fitted")
+    patterns: list[ContrastPattern] = []
+
+    def conditions_to_itemset(conditions) -> Itemset:
+        # combine repeated numeric conditions on one attribute
+        lo: dict[str, float] = {}
+        hi: dict[str, float] = {}
+        cats: dict[str, CategoricalItem] = {}
+        for attribute, kind, value in conditions:
+            if kind == "le":
+                hi[attribute] = min(hi.get(attribute, math.inf), value)
+            elif kind == "gt":
+                lo[attribute] = max(lo.get(attribute, -math.inf), value)
+            else:  # categorical equality
+                cats[attribute] = CategoricalItem(attribute, value)
+        items: list = list(cats.values())
+        for attribute in set(lo) | set(hi):
+            items.append(
+                NumericItem(
+                    attribute,
+                    Interval(
+                        lo.get(attribute, -math.inf),
+                        hi.get(attribute, math.inf),
+                        lo_closed=False,
+                        hi_closed=attribute in hi,
+                    ),
+                )
+            )
+        return Itemset(items)
+
+    def walk(node, conditions):
+        if node.is_leaf:
+            itemset = conditions_to_itemset(conditions)
+            if len(itemset):
+                patterns.append(evaluate_itemset(itemset, dataset))
+            return
+        attr = dataset.attribute(node.attribute)
+        if node.threshold is not None:
+            walk(node.left, conditions + [(node.attribute, "le",
+                                           node.threshold)])
+            walk(node.right, conditions + [(node.attribute, "gt",
+                                            node.threshold)])
+        else:
+            label = attr.label_of(node.category)
+            walk(node.left, conditions + [(node.attribute, "eq", label)])
+            # the negative branch has no itemset representation
+            # (attribute != value); recurse without a condition so deeper
+            # positive conditions still surface
+            walk(node.right, conditions)
+
+    walk(tree.root, [])
+    return patterns

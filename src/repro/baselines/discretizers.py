@@ -1,0 +1,173 @@
+"""Shared plumbing for global (pre-binning) discretizers.
+
+The baseline pipeline the paper compares against is: discretize every
+continuous attribute *globally* (Fayyad-Irani entropy, MVD, or equi-depth),
+replace each continuous column with its bin id, and run a categorical
+contrast-set miner (STUCCO) on the result.  The bins never adapt to the
+attribute subset being explored — precisely the limitation SDAD-CS's
+supervised/dynamic/adaptive binning removes.
+
+:class:`Binning` captures the cut points for one attribute;
+:class:`DiscretizedView` materialises the binned dataset and converts mined
+categorical patterns back into interval patterns on the original data so
+that all miners report comparable :class:`ContrastPattern` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.contrast import ContrastPattern, evaluate_itemset
+from ..core.items import CategoricalItem, Interval, Itemset, NumericItem
+from ..dataset.schema import Attribute, Schema
+from ..dataset.table import Dataset
+
+__all__ = ["Binning", "DiscretizedView", "equal_frequency_cuts"]
+
+
+@dataclass(frozen=True)
+class Binning:
+    """Interior cut points of one attribute, sorted ascending.
+
+    ``k`` cuts produce ``k + 1`` bins; the outer bounds come from the
+    attribute's observed range.  Bin ``i`` is ``(cut[i-1], cut[i]]`` with
+    the first bin closed on the left at the observed minimum.
+    """
+
+    attribute: str
+    cuts: tuple[float, ...]
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError(
+                f"binning of {self.attribute!r} saw missing values; "
+                "drop them first (Dataset.drop_missing_rows)"
+            )
+        if list(self.cuts) != sorted(set(self.cuts)):
+            raise ValueError("cuts must be strictly increasing")
+        for cut in self.cuts:
+            if not self.lo <= cut <= self.hi:
+                raise ValueError(
+                    f"cut {cut} outside observed range [{self.lo}, {self.hi}]"
+                )
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.cuts) + 1
+
+    def intervals(self) -> list[Interval]:
+        edges = [self.lo, *self.cuts, self.hi]
+        out = []
+        for i in range(len(edges) - 1):
+            out.append(
+                Interval(
+                    edges[i], edges[i + 1], lo_closed=(i == 0), hi_closed=True
+                )
+            )
+        return out
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Bin index per value (values equal to a cut go left, like the
+        right-closed intervals)."""
+        return np.searchsorted(np.asarray(self.cuts), values, side="left")
+
+    def labels(self) -> list[str]:
+        return [str(iv) for iv in self.intervals()]
+
+
+def equal_frequency_cuts(
+    values: np.ndarray, n_bins: int
+) -> tuple[float, ...]:
+    """Interior cut points of an equal-frequency binning.
+
+    Duplicate quantiles (heavy ties) are collapsed, so the result can have
+    fewer than ``n_bins - 1`` cuts.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0 or n_bins == 1:
+        return ()
+    qs = np.linspace(0, 1, n_bins + 1)[1:-1]
+    cuts = np.quantile(values, qs)
+    lo, hi = float(values.min()), float(values.max())
+    unique = sorted({float(c) for c in cuts if lo < c < hi})
+    return tuple(unique)
+
+
+class DiscretizedView:
+    """A dataset with its continuous attributes replaced by global bins."""
+
+    def __init__(
+        self, original: Dataset, binnings: Mapping[str, Binning]
+    ) -> None:
+        self.original = original
+        self.binnings = dict(binnings)
+        for name in self.binnings:
+            if not original.attribute(name).is_continuous:
+                raise ValueError(f"{name!r} is not continuous")
+        self.dataset = self._materialise()
+
+    def _materialise(self) -> Dataset:
+        attributes: list[Attribute] = []
+        columns: dict[str, np.ndarray] = {}
+        for attr in self.original.schema:
+            binning = self.binnings.get(attr.name)
+            if binning is None:
+                attributes.append(attr)
+                columns[attr.name] = self.original.column(attr.name)
+            elif np.isnan(self.original.column(attr.name)).any():
+                raise ValueError(
+                    f"column {attr.name!r} contains missing values; "
+                    "drop them first (Dataset.drop_missing_rows) — "
+                    "global binning has no bin for NaN"
+                )
+            else:
+                labels = binning.labels()
+                attributes.append(
+                    Attribute.categorical(attr.name, labels)
+                )
+                columns[attr.name] = binning.assign(
+                    self.original.column(attr.name)
+                ).astype(np.int64)
+        return Dataset(
+            Schema.of(attributes),
+            columns,
+            self.original.group_codes.copy(),
+            self.original.group_labels,
+            self.original.group_name,
+        )
+
+    # ------------------------------------------------------------------
+
+    def restore_pattern(self, pattern: ContrastPattern) -> ContrastPattern:
+        """Convert a pattern mined on the binned dataset back to interval
+        items evaluated on the original data."""
+        items = []
+        for item in pattern.itemset:
+            binning = self.binnings.get(item.attribute)
+            if binning is None:
+                items.append(item)
+                continue
+            if not isinstance(item, CategoricalItem):
+                raise ValueError(
+                    f"binned attribute {item.attribute!r} should carry "
+                    "categorical items"
+                )
+            attr = self.dataset.attribute(item.attribute)
+            interval = binning.intervals()[attr.code_of(item.value)]
+            items.append(NumericItem(item.attribute, interval))
+        return evaluate_itemset(
+            Itemset(items), self.original, level=pattern.level
+        )
+
+    def restore_patterns(
+        self, patterns: Sequence[ContrastPattern]
+    ) -> list[ContrastPattern]:
+        return [self.restore_pattern(p) for p in patterns]

@@ -1,0 +1,158 @@
+"""STUCCO — Searching and Testing for Understandable Consistent COntrasts
+(Bay & Pazzani, 2001).
+
+The canonical categorical contrast-set miner and the engine the paper runs
+on top of each global discretizer (MVD / Fayyad / equi-depth bins become
+categorical attributes first).  Breadth-first candidate generation with:
+
+* minimum deviation size pruning (no group support above ``delta``),
+* expected cell count >= 5 pruning,
+* chi-square upper-bound pruning (a node none of whose specialisations can
+  reach significance is cut), and
+* the Bonferroni alpha ladder across levels.
+
+Output: all large-and-significant contrast sets, optionally truncated to
+the top-k by support difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+from ..core.contrast import ContrastPattern, evaluate_itemset
+from ..core.instrumentation import MiningStats, Stopwatch
+from ..core.items import CategoricalItem, Itemset
+from ..core.optimistic import chi_square_estimate
+from ..core.pruning import (
+    expected_count_prunes,
+    minimum_deviation_prunes,
+)
+from ..core.stats import AlphaLadder
+from ..dataset.table import Dataset
+
+__all__ = ["StuccoConfig", "StuccoResult", "stucco"]
+
+
+@dataclass(frozen=True)
+class StuccoConfig:
+    """STUCCO parameters (defaults follow the paper's setup)."""
+
+    delta: float = 0.1
+    alpha: float = 0.05
+    max_depth: int = 5
+    k: int | None = 100
+    min_expected_count: float = 5.0
+    use_bonferroni: bool = True
+
+
+@dataclass
+class StuccoResult:
+    patterns: list[ContrastPattern]
+    stats: MiningStats
+
+    def top(self, n: int | None = None) -> list[ContrastPattern]:
+        return self.patterns if n is None else self.patterns[:n]
+
+
+def stucco(
+    dataset: Dataset,
+    config: StuccoConfig | None = None,
+    attributes: Sequence[str] | None = None,
+) -> StuccoResult:
+    """Mine categorical contrast sets.
+
+    Continuous attributes are rejected — discretize first (see
+    :mod:`repro.baselines.discretizers`).
+    """
+    config = config or StuccoConfig()
+    names = (
+        tuple(attributes)
+        if attributes is not None
+        else dataset.schema.categorical_names
+    )
+    for name in names:
+        if not dataset.attribute(name).is_categorical:
+            raise ValueError(
+                f"STUCCO handles categorical attributes only; {name!r} is "
+                "continuous (discretize it first)"
+            )
+
+    stats = MiningStats()
+    ladder = AlphaLadder(config.alpha)
+    found: list[ContrastPattern] = []
+
+    with Stopwatch(stats):
+        # level 1 candidates: every attribute value
+        frontier: list[Itemset] = [
+            Itemset([CategoricalItem(name, value)])
+            for name in names
+            for value in dataset.attribute(name).categories
+        ]
+        level = 1
+        while frontier and level <= config.max_depth:
+            alpha = (
+                ladder.alpha_for_level(level, max(1, len(frontier)))
+                if config.use_bonferroni
+                else config.alpha
+            )
+            survivors: list[Itemset] = []
+            for itemset in frontier:
+                stats.partitions_evaluated += 1
+                pattern = evaluate_itemset(itemset, dataset, level)
+                if minimum_deviation_prunes(
+                    pattern.counts, pattern.group_sizes, config.delta
+                ):
+                    stats.spaces_pruned += 1
+                    continue
+                if expected_count_prunes(
+                    pattern.counts,
+                    pattern.group_sizes,
+                    config.min_expected_count,
+                ):
+                    stats.spaces_pruned += 1
+                    continue
+                if pattern.is_contrast(config.delta, alpha):
+                    found.append(pattern)
+                # expand only if some specialisation could be significant
+                bound = chi_square_estimate(
+                    pattern.counts, pattern.group_sizes
+                )
+                dof = max(1, len(pattern.counts) - 1)
+                critical = float(_scipy_stats.chi2.isf(alpha, dof))
+                if bound >= critical:
+                    survivors.append(itemset)
+                else:
+                    stats.spaces_pruned += 1
+            frontier = _next_level(survivors, dataset, names)
+            stats.candidates_generated += len(frontier)
+            level += 1
+
+    found.sort(key=lambda p: -p.support_difference)
+    if config.k is not None:
+        found = found[: config.k]
+    return StuccoResult(found, stats)
+
+
+def _next_level(
+    survivors: Sequence[Itemset],
+    dataset: Dataset,
+    names: Sequence[str],
+) -> list[Itemset]:
+    """Extend surviving itemsets with values of later attributes.
+
+    Attributes are ordered; an itemset is only extended with attributes
+    after its last one, so every candidate is generated exactly once
+    (the systematic enumeration of Figure 1).
+    """
+    order = {name: i for i, name in enumerate(names)}
+    out: list[Itemset] = []
+    for itemset in survivors:
+        last = max(order[a] for a in itemset.attributes)
+        for name in names[last + 1:]:
+            for value in dataset.attribute(name).categories:
+                out.append(itemset.with_item(CategoricalItem(name, value)))
+    return out

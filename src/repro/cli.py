@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Four subcommands cover the operational loop a downstream user needs:
+
+* ``repro info data.csv --group outcome`` — describe a dataset;
+* ``repro mine data.csv --group outcome`` — mine and print contrasts;
+* ``repro compare data.csv --group outcome`` — run the Table 4 protocol;
+* ``repro generate adult out.csv`` — materialise a built-in dataset.
+
+All commands read/write plain CSV and print plain text, so the tool
+drops into shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .analysis import (
+    compare_algorithms,
+    comparison_table,
+    pattern_table,
+    ALGORITHMS,
+)
+from .core import measures
+from .core.config import MinerConfig
+from .core.miner import ContrastSetMiner
+from .dataset.io import read_csv, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "SDAD-CS contrast pattern mining for quantitative data "
+            "(Khade, Lin & Patel, EDBT 2019)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_io(p: argparse.ArgumentParser) -> None:
+        p.add_argument("csv", help="input CSV file")
+        p.add_argument(
+            "--group", required=True, help="name of the group column"
+        )
+        p.add_argument(
+            "--groups",
+            nargs=2,
+            metavar=("G1", "G2"),
+            help="restrict to two group labels",
+        )
+        p.add_argument(
+            "--delimiter", default=",", help="CSV delimiter (default ,)"
+        )
+
+    def add_miner_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--delta", type=float, default=0.1,
+                       help="minimum support difference (default 0.1)")
+        p.add_argument("--alpha", type=float, default=0.05,
+                       help="significance level (default 0.05)")
+        p.add_argument("--k", type=int, default=100,
+                       help="top-k patterns to keep (default 100)")
+        p.add_argument("--depth", type=int, default=5,
+                       help="max itemset size (default 5)")
+        p.add_argument(
+            "--measure",
+            default="support_difference",
+            choices=measures.available_measures(),
+            help="interest measure to optimise",
+        )
+        p.add_argument(
+            "--attributes",
+            nargs="+",
+            help="restrict the search to these attributes",
+        )
+
+    info = sub.add_parser("info", help="describe a dataset")
+    add_io(info)
+
+    mine = sub.add_parser("mine", help="mine contrast patterns")
+    add_io(mine)
+    add_miner_options(mine)
+    mine.add_argument(
+        "--all",
+        action="store_true",
+        dest="show_all",
+        help="print the raw top-k instead of only the meaningful patterns",
+    )
+    mine.add_argument(
+        "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+    mine.add_argument(
+        "--validate",
+        type=float,
+        metavar="FRACTION",
+        help=(
+            "hold out this fraction of rows, mine on the rest, and "
+            "report only patterns that re-validate on the holdout"
+        ),
+    )
+    mine.add_argument(
+        "--briefing",
+        action="store_true",
+        help="print a plain-language briefing instead of the table",
+    )
+    mine.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the patterns as JSON (for pipelines/dashboards)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare algorithms (Table 4 protocol)"
+    )
+    add_io(compare)
+    add_miner_options(compare)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["sdad_np", "mvd", "entropy", "cortana"],
+        choices=sorted(ALGORITHMS),
+        help="algorithms to run (first is the WMW reference)",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="write a built-in dataset to CSV"
+    )
+    generate.add_argument(
+        "name",
+        help=(
+            "dataset name: a UCI stand-in (adult, spambase, ...), "
+            "'manufacturing', or simulated_dataset_1..4"
+        ),
+    )
+    generate.add_argument("out", help="output CSV path")
+    generate.add_argument(
+        "--scale", type=float, help="row-count scale for UCI stand-ins"
+    )
+    generate.add_argument("--seed", type=int, help="generator seed")
+    return parser
+
+
+def _load(args) -> "object":
+    dataset = read_csv(
+        args.csv, group_column=args.group, delimiter=args.delimiter
+    )
+    if args.groups:
+        dataset = dataset.select_groups(args.groups)
+    return dataset
+
+
+def _config(args) -> MinerConfig:
+    return MinerConfig(
+        delta=args.delta,
+        alpha=args.alpha,
+        k=args.k,
+        max_tree_depth=args.depth,
+        interest_measure=args.measure,
+    )
+
+
+def _cmd_info(args) -> int:
+    dataset = _load(args)
+    print(dataset.describe())
+    for attr in dataset.schema:
+        if attr.is_categorical:
+            print(
+                f"  {attr.name}: categorical "
+                f"({attr.cardinality} values)"
+            )
+        else:
+            col = dataset.column(attr.name)
+            print(
+                f"  {attr.name}: continuous "
+                f"[{col.min():g}, {col.max():g}]"
+            )
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    dataset = _load(args)
+    config = _config(args)
+
+    holdout = None
+    mine_on = dataset
+    if args.validate is not None:
+        from .dataset.sampling import train_holdout_split
+
+        mine_on, holdout = train_holdout_split(dataset, args.validate)
+
+    result = ContrastSetMiner(config).mine(
+        mine_on, attributes=args.attributes
+    )
+    if args.show_all:
+        patterns = result.top(args.top)
+        title = f"Top {len(patterns)} contrasts (raw)"
+    else:
+        patterns = result.meaningful()[: args.top]
+        title = f"Meaningful contrasts (top {len(patterns)})"
+
+    if holdout is not None:
+        from .analysis.validation import validate_patterns
+
+        validation = validate_patterns(
+            patterns, holdout, delta=config.delta, alpha=config.alpha
+        )
+        patterns = validation.survivors()
+        title += f" — {validation.formatted()}"
+
+    if args.as_json:
+        import json
+
+        from .core.serialize import patterns_to_dicts
+
+        print(json.dumps(patterns_to_dicts(patterns), indent=2))
+        return 0
+    if args.briefing:
+        from .analysis.explain import briefing
+
+        print(briefing(patterns, max_items=args.top, title=title))
+    else:
+        print(pattern_table(patterns, title=title))
+    stats = result.stats
+    print(
+        f"\n{len(result)} patterns; "
+        f"{stats.partitions_evaluated} partitions evaluated, "
+        f"{stats.spaces_pruned} pruned, {stats.elapsed_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    dataset = _load(args)
+    comparison = compare_algorithms(
+        dataset,
+        dataset_name=args.csv,
+        algorithms=tuple(args.algorithms),
+        config=_config(args),
+    )
+    print(comparison_table([comparison], args.algorithms))
+    print(f"\n(k = {comparison.k_used}; '*' = WMW-indistinguishable "
+          f"from {args.algorithms[0]})")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .dataset import synthetic, uci
+    from .dataset.manufacturing import manufacturing
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.name in uci.DATASET_REGISTRY:
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        dataset = uci.load(args.name, **kwargs)
+    elif args.name == "manufacturing":
+        dataset = manufacturing(**kwargs)
+    elif hasattr(synthetic, args.name):
+        dataset = getattr(synthetic, args.name)(**kwargs)
+    else:
+        known = sorted(uci.DATASET_REGISTRY) + [
+            "manufacturing",
+            "simulated_dataset_1",
+            "simulated_dataset_2",
+            "simulated_dataset_3",
+            "simulated_dataset_4",
+            "figure2_example",
+        ]
+        print(
+            f"unknown dataset {args.name!r}; known: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    write_csv(dataset, args.out)
+    print(f"wrote {dataset.n_rows} rows to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "mine": _cmd_mine,
+    "compare": _cmd_compare,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Core contrast-set mining machinery (the paper's contribution)."""
+
+from .config import MinerConfig
+from .contrast import ContrastPattern, evaluate_itemset
+from .items import CategoricalItem, Interval, Item, Itemset, NumericItem
+from .sdad import SDADResult, sdad_cs
+from .topk import TopKList
+
+__all__ = [
+    "MinerConfig",
+    "ContrastPattern",
+    "evaluate_itemset",
+    "CategoricalItem",
+    "Interval",
+    "Item",
+    "Itemset",
+    "NumericItem",
+    "SDADResult",
+    "sdad_cs",
+    "TopKList",
+]

@@ -1,0 +1,137 @@
+"""Interest measure registry (paper Section 4.2).
+
+The paper's default interest measure is the support difference; it also
+defines Purity Ratio (Eq. 12) and the Surprising Measure (Eq. 13), and the
+comparison harness additionally needs WRAcc (which Novak et al. show to be
+directly proportional to support difference for two groups — the basis of
+Table 4's cross-community comparison).
+
+Measures are plain functions ``ContrastPattern -> float`` registered under a
+string name so that :class:`~repro.core.miner.MinerConfig` can select them
+by name and ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .contrast import ContrastPattern
+
+__all__ = [
+    "MeasureFn",
+    "register",
+    "get",
+    "evaluate",
+    "available_measures",
+    "support_difference",
+    "purity_ratio",
+    "surprising_measure",
+    "wracc",
+    "leverage",
+    "lift",
+]
+
+MeasureFn = Callable[[ContrastPattern], float]
+
+_REGISTRY: Dict[str, MeasureFn] = {}
+
+
+def register(name: str) -> Callable[[MeasureFn], MeasureFn]:
+    """Decorator registering an interest measure under ``name``."""
+
+    def decorator(fn: MeasureFn) -> MeasureFn:
+        if name in _REGISTRY:
+            raise ValueError(f"measure {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get(name: str) -> MeasureFn:
+    """Look up a measure by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown interest measure {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def evaluate(name: str, pattern: ContrastPattern) -> float:
+    return get(name)(pattern)
+
+
+def available_measures() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+@register("support_difference")
+def support_difference(pattern: ContrastPattern) -> float:
+    """Largest pairwise support difference (the paper's default, Eq. 2)."""
+    return pattern.support_difference
+
+
+@register("purity_ratio")
+def purity_ratio(pattern: ContrastPattern) -> float:
+    """Purity Ratio (Eq. 12)."""
+    return pattern.purity_ratio
+
+
+@register("surprising")
+def surprising_measure(pattern: ContrastPattern) -> float:
+    """SurPRising Measure = PR x Diff (Eq. 13)."""
+    return pattern.surprising_measure
+
+
+@register("wracc")
+def wracc(pattern: ContrastPattern) -> float:
+    """Weighted relative accuracy with the dominant group as target.
+
+    WRAcc(cond -> g) = p(cond) * (p(g | cond) - p(g)).  For two groups this
+    is proportional to the support difference (Novak et al. 2009), which is
+    why the paper compares against Cortana's WRAcc-ranked subgroups using
+    mean support difference.
+    """
+    total = sum(pattern.group_sizes)
+    covered = pattern.total_count
+    if total == 0 or covered == 0:
+        return 0.0
+    target = pattern.group_labels.index(pattern.dominant_group)
+    p_cond = covered / total
+    p_target = pattern.group_sizes[target] / total
+    p_target_given_cond = pattern.counts[target] / covered
+    return p_cond * (p_target_given_cond - p_target)
+
+
+@register("leverage")
+def leverage(pattern: ContrastPattern) -> float:
+    """Leverage of coverage vs dominant-group membership.
+
+    leverage = p(cond & g) - p(cond) * p(g); the quantity the paper notes
+    its productivity formula (Eq. 17) is related to.
+    """
+    total = sum(pattern.group_sizes)
+    if total == 0:
+        return 0.0
+    target = pattern.group_labels.index(pattern.dominant_group)
+    p_joint = pattern.counts[target] / total
+    p_cond = pattern.total_count / total
+    p_target = pattern.group_sizes[target] / total
+    return p_joint - p_cond * p_target
+
+
+@register("lift")
+def lift(pattern: ContrastPattern) -> float:
+    """Lift of the dominant group inside the covered region."""
+    total = sum(pattern.group_sizes)
+    covered = pattern.total_count
+    if total == 0 or covered == 0:
+        return 0.0
+    target = pattern.group_labels.index(pattern.dominant_group)
+    p_target = pattern.group_sizes[target] / total
+    if p_target == 0:
+        return 0.0
+    p_target_given_cond = pattern.counts[target] / covered
+    return p_target_given_cond / p_target

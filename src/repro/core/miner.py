@@ -1,0 +1,102 @@
+"""High-level mining facade.
+
+:class:`ContrastSetMiner` ties together the level-wise search, SDAD-CS, the
+top-k list, and the meaningfulness post-filters; it is the public entry
+point a downstream user calls::
+
+    miner = ContrastSetMiner(MinerConfig(interest_measure="surprising"))
+    result = miner.mine(dataset, groups=("Doctorate", "Bachelors"))
+    for pattern in result.meaningful():
+        print(pattern.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dataset.table import Dataset
+from .config import MinerConfig
+from .contrast import ContrastPattern
+from .instrumentation import MiningStats, Stopwatch
+from .meaningful import MeaningfulnessReport, classify_patterns
+from .search import SearchEngine
+
+__all__ = ["ContrastSetMiner", "MiningResult"]
+
+
+@dataclass
+class MiningResult:
+    """Everything a mining run produced."""
+
+    patterns: list[ContrastPattern]
+    interests: dict
+    stats: MiningStats
+    config: MinerConfig
+    dataset: Dataset
+
+    def top(self, n: int | None = None) -> list[ContrastPattern]:
+        """The best ``n`` patterns by the configured interest measure."""
+        return self.patterns if n is None else self.patterns[:n]
+
+    def interest_of(self, pattern: ContrastPattern) -> float:
+        return self.interests[pattern.itemset]
+
+    def meaningfulness(
+        self, alpha: float | None = None
+    ) -> MeaningfulnessReport:
+        """Classify the result patterns (redundant / unproductive / not
+        independently productive)."""
+        alpha = self.config.alpha if alpha is None else alpha
+        return classify_patterns(self.patterns, self.dataset, alpha)
+
+    def meaningful(
+        self, alpha: float | None = None
+    ) -> list[ContrastPattern]:
+        """Only the meaningful patterns (paper's headline output)."""
+        return self.meaningfulness(alpha).meaningful_patterns()
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+class ContrastSetMiner:
+    """Contrast-set miner for mixed data (SDAD-CS + meaningful filters)."""
+
+    def __init__(self, config: MinerConfig | None = None) -> None:
+        self.config = config or MinerConfig()
+
+    def mine(
+        self,
+        dataset: Dataset,
+        groups: Sequence[str] | None = None,
+        attributes: Sequence[str] | None = None,
+    ) -> MiningResult:
+        """Mine contrast patterns between groups of a dataset.
+
+        Parameters
+        ----------
+        dataset:
+            The data.  If it has more than the groups of interest, pass
+            ``groups`` to narrow it first.
+        groups:
+            Optional pair (or more) of group labels to contrast; defaults
+            to all groups in the dataset.
+        attributes:
+            Optional subset of attributes to search over; defaults to all.
+        """
+        if groups is not None:
+            dataset = dataset.select_groups(groups)
+        if dataset.n_groups < 2:
+            raise ValueError("contrast mining needs at least two groups")
+        engine = SearchEngine(dataset, self.config, attributes)
+        with Stopwatch(engine.stats):
+            topk = engine.run()
+        patterns = topk.patterns()
+        return MiningResult(
+            patterns=patterns,
+            interests=topk.interests(),
+            stats=engine.stats,
+            config=self.config,
+            dataset=dataset,
+        )

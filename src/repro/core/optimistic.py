@@ -1,0 +1,144 @@
+"""Optimistic estimates used to prune the SDAD-CS recursion and the
+categorical search tree (paper Eq. 4-11 and the STUCCO chi-square bound).
+
+An optimistic estimate ``oe(X)`` upper-bounds the interest measure of every
+specialisation of ``X`` (Eq. 4); a node whose estimate falls below the
+current top-k threshold cannot contribute and is not expanded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .stats import chi_square_independence, contingency_from_counts
+
+__all__ = [
+    "max_instances_child",
+    "support_difference_estimate",
+    "chi_square_estimate",
+]
+
+
+def max_instances_child(
+    db_size: int,
+    level: int,
+    n_continuous: int,
+    space_count: int,
+) -> float:
+    """Upper bound on the number of rows in any child space (Eq. 6).
+
+    The paper's formula ``|DB| / (2^(level+1) * |ca|)`` assumes median
+    splits distribute rows evenly across sibling spaces, which can be
+    violated for strongly correlated attributes; we additionally clamp by
+    ``ceil(|r| / 2)`` — a child is contained in one half of the current
+    space along every split axis, and a median split puts at most half the
+    region's rows (rounded up) in either half — to keep the estimate
+    admissible (see DESIGN.md).
+
+    Parameters
+    ----------
+    db_size:
+        Rows in the dataset handed to the top-level SDAD-CS call.
+    level:
+        Current recursion level (1-based).
+    n_continuous:
+        Number of continuous attributes being partitioned.
+    space_count:
+        Rows in the current space ``r``.
+    """
+    if n_continuous < 1:
+        raise ValueError("need at least one continuous attribute")
+    paper_bound = db_size / (2 ** (level + 1) * n_continuous)
+    strict_bound = math.ceil(space_count / 2)
+    return min(max(paper_bound, strict_bound), space_count)
+
+
+def support_difference_estimate(
+    counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    db_size: int,
+    level: int,
+    n_continuous: int,
+) -> float:
+    """Optimistic estimate of the support difference in child spaces
+    (Eq. 7-11).
+
+    For every ordered pair of groups (i, j):
+
+    * ``max_supp_i`` (Eq. 7) — a child can hold at most
+      ``max_instances_child`` rows, and support is monotone under
+      restriction, so the child's group-i support is bounded by
+      ``min(max_instances_child / |g_i|, supp_i(r))``.
+    * ``min_supp_j`` (Eq. 8-10) — if the child is full, at most
+      ``other_instances_j = |DB| - count_j(r)`` of its rows can be
+      non-(group-j-in-r), leaving at least
+      ``max_instances_child - other_instances_j`` group-j rows.
+
+    The estimate is the best achievable ``max_supp_i - min_supp_j``.
+
+    This same bound serves the Surprising Measure: PR <= 1 always, so
+    ``oe(PR x Diff) = oe(Diff)`` (Section 4.2).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    if counts.shape != sizes.shape:
+        raise ValueError("counts and group_sizes must align")
+    space_count = int(counts.sum())
+    max_child = max_instances_child(
+        db_size, level, n_continuous, space_count
+    )
+
+    supports = np.divide(
+        counts, sizes, out=np.zeros_like(counts), where=sizes > 0
+    )
+    max_supp = np.minimum(
+        np.divide(
+            max_child, sizes, out=np.ones_like(sizes), where=sizes > 0
+        ),
+        supports,
+    )
+    other_instances = db_size - counts  # Eq. 8
+    min_instances = max_child - other_instances  # Eq. 9
+    min_supp = np.maximum(
+        0.0,
+        np.divide(
+            min_instances,
+            sizes,
+            out=np.zeros_like(sizes),
+            where=sizes > 0,
+        ),
+    )  # Eq. 10
+
+    best = 0.0
+    for i in range(len(counts)):
+        for j in range(len(counts)):
+            if i != j:
+                best = max(best, float(max_supp[i] - min_supp[j]))  # Eq. 11
+    return best
+
+
+def chi_square_estimate(
+    counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> float:
+    """Upper bound on the chi-square statistic of any specialisation.
+
+    STUCCO's bound: a specialisation covers a subset of the current rows,
+    and the statistic is maximised when the surviving rows all come from a
+    single group.  We evaluate the statistic for each "keep only group g"
+    scenario and return the maximum.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    best = 0.0
+    for keep in range(len(counts)):
+        scenario = np.zeros_like(counts)
+        scenario[keep] = counts[keep]
+        if scenario[keep] == 0:
+            continue
+        table = contingency_from_counts(scenario, sizes)
+        best = max(best, chi_square_independence(table).statistic)
+    return best

@@ -1,0 +1,281 @@
+"""Spaces (axis-aligned boxes) and median partitioning for SDAD-CS.
+
+SDAD-CS explores the joint range of a set of continuous attributes by
+recursively splitting each attribute at its median *within the current
+region* (``partition(ca)``, Algorithm 1 line 4) and forming all ``2^|ca|``
+combinations of the halves (``find_combs(p)``, line 5).  After the search,
+contiguous similar spaces are merged bottom-up, smallest hyper-volume first
+(lines 26-29).
+
+A :class:`Space` is the box plus its boolean coverage mask over the original
+dataset (the mask already includes any categorical context items), so
+counting per-group membership in a space is a single ``bincount``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from .items import Interval, Itemset, NumericItem
+
+__all__ = [
+    "AttributeRange",
+    "Space",
+    "full_space",
+    "partition_median",
+    "find_combinations",
+    "are_contiguous",
+    "merged_space",
+]
+
+
+@dataclass(frozen=True)
+class AttributeRange:
+    """Observed [min, max] range of a continuous attribute.
+
+    Used to normalise interval widths so hyper-volumes of boxes over
+    different attributes are comparable (the merge step sorts by volume).
+    """
+
+    attribute: str
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def normalised_width(self, interval: Interval) -> float:
+        """Width of ``interval`` clipped to this range, as a fraction."""
+        if self.width <= 0:
+            return 1.0
+        lo = max(interval.lo, self.lo)
+        hi = min(interval.hi, self.hi)
+        return max(0.0, hi - lo) / self.width
+
+    @staticmethod
+    def of(dataset: Dataset, attribute: str) -> "AttributeRange":
+        values = dataset.column(attribute)
+        finite = values[~np.isnan(values)] if values.size else values
+        if finite.size == 0:
+            return AttributeRange(attribute, 0.0, 0.0)
+        return AttributeRange(
+            attribute, float(finite.min()), float(finite.max())
+        )
+
+
+class Space:
+    """An axis-aligned box over continuous attributes with its coverage.
+
+    Parameters
+    ----------
+    intervals:
+        One :class:`Interval` per continuous attribute of the box.
+    mask:
+        Boolean coverage over the *original* dataset rows.  It must already
+        include the categorical context (the itemset ``c`` that SDAD-CS was
+        called with), so per-group counting needs no further filtering.
+    counts:
+        Per-group row counts inside the mask.
+    ranges:
+        Full attribute ranges, for hyper-volume normalisation.
+    """
+
+    __slots__ = ("intervals", "mask", "counts", "_ranges", "_volume")
+
+    def __init__(
+        self,
+        intervals: Mapping[str, Interval],
+        mask: np.ndarray,
+        counts: np.ndarray,
+        ranges: Mapping[str, AttributeRange],
+    ) -> None:
+        self.intervals: dict[str, Interval] = dict(
+            sorted(intervals.items())
+        )
+        self.mask = mask
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self._ranges = dict(ranges)
+        self._volume: float | None = None
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self.intervals)
+
+    @property
+    def total_count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def hypervolume(self) -> float:
+        """Normalised n-volume of the box (Section 4.1: rectangles,
+        cuboids, hyper-cubes)."""
+        if self._volume is None:
+            volume = 1.0
+            for name, interval in self.intervals.items():
+                rng = self._ranges.get(name)
+                volume *= rng.normalised_width(interval) if rng else 1.0
+            self._volume = volume
+        return self._volume
+
+    @property
+    def ranges(self) -> dict[str, AttributeRange]:
+        return dict(self._ranges)
+
+    def numeric_items(self) -> tuple[NumericItem, ...]:
+        return tuple(
+            NumericItem(name, interval)
+            for name, interval in self.intervals.items()
+        )
+
+    def itemset_with(self, categorical: Itemset) -> Itemset:
+        """Full itemset: the categorical context plus this box's items."""
+        itemset = categorical
+        for item in self.numeric_items():
+            itemset = itemset.with_item(item)
+        return itemset
+
+    def key(self) -> tuple:
+        """Hashable identity of the box (used by the prune lookup table)."""
+        return tuple(
+            (name, iv.lo, iv.hi, iv.lo_closed, iv.hi_closed)
+            for name, iv in self.intervals.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        box = ", ".join(f"{n}: {iv}" for n, iv in self.intervals.items())
+        return f"Space({box}; n={self.total_count})"
+
+
+def full_space(
+    dataset: Dataset,
+    attributes: Sequence[str],
+    context_mask: np.ndarray,
+) -> Space:
+    """The level-0 space: each attribute's full observed range.
+
+    The root interval is closed on both sides so the attribute minimum is
+    covered; all descendant left-open splits inherit correct closure.
+    """
+    intervals: dict[str, Interval] = {}
+    ranges: dict[str, AttributeRange] = {}
+    for name in attributes:
+        rng = AttributeRange.of(dataset, name)
+        ranges[name] = rng
+        intervals[name] = Interval(rng.lo, rng.hi, True, True)
+    counts = dataset.group_counts(context_mask)
+    return Space(intervals, context_mask, counts, ranges)
+
+
+def partition_median(
+    dataset: Dataset,
+    space: Space,
+    attribute: str,
+    statistic: str = "median",
+) -> tuple[Interval, Interval] | None:
+    """Split one attribute's interval at the median (or mean) of the rows
+    in ``space``.
+
+    Returns ``None`` when the attribute cannot be split (no rows, or all
+    values inside the space are identical — the "number of unique values far
+    less than data points" caveat from Section 4.1).
+    """
+    values = dataset.column(attribute)[space.mask]
+    values = values[~np.isnan(values)]  # missing rows join no half
+    if values.size == 0:
+        return None
+    vmin = float(values.min())
+    vmax = float(values.max())
+    if vmin == vmax:
+        return None
+    interval = space.intervals[attribute]
+    if statistic == "mean":
+        # the mean of a non-constant sample is strictly inside
+        # (vmin, vmax), so no tie fallback is ever needed
+        median = float(values.mean())
+    elif statistic == "median":
+        median = float(np.median(values))
+    else:
+        raise ValueError("statistic must be 'median' or 'mean'")
+    if median >= vmax:
+        # Heavy ties at the top (the paper's "unique values far less than
+        # data points" caveat): fall back to the largest distinct value
+        # below the maximum so the right half stays non-empty.  Ties at
+        # the bottom need no special case — a degenerate left interval
+        # [min, min] is a legitimate half (e.g. the zero spike of a
+        # zero-inflated frequency column).
+        distinct = np.unique(values)
+        median = float(distinct[-2])
+    left = Interval(interval.lo, median, interval.lo_closed, True)
+    right = Interval(median, interval.hi, False, interval.hi_closed)
+    return left, right
+
+
+def find_combinations(
+    dataset: Dataset,
+    space: Space,
+    splits: Mapping[str, tuple[Interval, Interval]],
+) -> list[Space]:
+    """All combinations of the per-attribute halves (``find_combs``).
+
+    Attributes without a split keep their current interval.  With ``k``
+    split attributes this yields ``2^k`` child spaces; their masks partition
+    the parent's mask.
+    """
+    choices: list[tuple[str, tuple[Interval, ...]]] = []
+    for name in space.attributes:
+        if name in splits:
+            choices.append((name, splits[name]))
+        else:
+            choices.append((name, (space.intervals[name],)))
+
+    children: list[Space] = []
+    for combo in itertools.product(*(c[1] for c in choices)):
+        intervals = {name: iv for (name, _), iv in zip(choices, combo)}
+        mask = space.mask
+        for (name, options), interval in zip(choices, combo):
+            if len(options) > 1:  # only intersect the changed axes
+                mask = mask & interval.cover(dataset.column(name))
+        counts = dataset.group_counts(mask)
+        children.append(Space(intervals, mask, counts, space.ranges))
+    return children
+
+
+def are_contiguous(a: Space, b: Space) -> bool:
+    """True when the boxes differ on exactly one axis, where they touch.
+
+    This is the merge precondition of Algorithm 1 lines 27-29: only
+    contiguous spaces may be combined.
+    """
+    if a.attributes != b.attributes:
+        return False
+    differing: list[str] = []
+    for name in a.attributes:
+        if a.intervals[name] != b.intervals[name]:
+            differing.append(name)
+    if len(differing) != 1:
+        return False
+    return a.intervals[differing[0]].is_adjacent_to(b.intervals[differing[0]])
+
+
+def merged_space(a: Space, b: Space) -> Space:
+    """Union of two contiguous spaces (counts and masks are additive
+    because median splits produce disjoint boxes)."""
+    if not are_contiguous(a, b):
+        raise ValueError("spaces are not contiguous")
+    intervals = dict(a.intervals)
+    for name in a.attributes:
+        if a.intervals[name] != b.intervals[name]:
+            intervals[name] = a.intervals[name].merge_with(b.intervals[name])
+    return Space(
+        intervals,
+        a.mask | b.mask,
+        a.counts + b.counts,
+        a.ranges,
+    )

@@ -1,0 +1,185 @@
+"""Pruning rules and the prune lookup table (paper Sections 3 and 4.3).
+
+SDAD-CS prunes a space/itemset when:
+
+1. *minimum deviation size* — no group's support exceeds ``delta``
+   (a contrast needs a support difference over ``delta``, which is
+   impossible when every support is at most ``delta``);
+2. *expected count* — some expected contingency cell is below 5, where the
+   chi-square approximation is unreliable;
+3. *optimistic estimate* — the best interest value any specialisation could
+   reach is below the current top-k threshold (Eq. 4-11), or the best
+   chi-square any specialisation could reach is below the significance
+   cut-off;
+4. *statistical redundancy* — the itemset's support difference is within
+   the CLT band of one of its subsets' differences (Eq. 14-16), so the
+   specialisation explains nothing new;
+5. *pure space* — PR = 1 (only one group present): adding further items
+   can only produce redundant contrasts (the height/toddler example of
+   Section 4.3).
+
+Every rule is independently switchable through
+:class:`~repro.core.miner.MinerConfig`, which is how the paper's SDAD-CS NP
+("no pruning") comparison configuration is expressed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .contrast import ContrastPattern
+from .stats import difference_is_statistically_same, min_expected_count
+
+__all__ = [
+    "PruneReason",
+    "PruneDecision",
+    "PruneTable",
+    "minimum_deviation_prunes",
+    "expected_count_prunes",
+    "redundant_against_subset",
+    "is_pure_space",
+]
+
+
+class PruneReason(enum.Enum):
+    """Why a space or itemset was pruned."""
+
+    MIN_DEVIATION = "minimum deviation size"
+    EXPECTED_COUNT = "expected count below 5"
+    OPTIMISTIC_ESTIMATE = "optimistic estimate below threshold"
+    REDUNDANT = "statistically redundant with a subset"
+    PURE_SPACE = "pure space (PR = 1)"
+    EMPTY = "no rows"
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """Result of checking a candidate against the pruning rules."""
+
+    pruned: bool
+    reason: PruneReason | None = None
+
+    @staticmethod
+    def keep() -> "PruneDecision":
+        return PruneDecision(False, None)
+
+    @staticmethod
+    def drop(reason: PruneReason) -> "PruneDecision":
+        return PruneDecision(True, reason)
+
+
+@dataclass
+class PruneTable:
+    """Lookup table of pruned candidates (Algorithm 1 lines 7-9).
+
+    The paper uses a hash map keyed by the itemset; any candidate found in
+    the table — or any candidate containing a pruned sub-candidate, which
+    callers check by probing subset keys — is skipped without evaluation.
+    The table also doubles as the experiment's instrumentation: it records
+    how many candidates were pruned for which reason.
+    """
+
+    _table: dict[Hashable, PruneReason] = field(default_factory=dict)
+    checks: int = 0
+    hits: int = 0
+
+    def add(self, key: Hashable, reason: PruneReason) -> None:
+        self._table[key] = reason
+
+    def contains(self, key: Hashable) -> bool:
+        self.checks += 1
+        found = key in self._table
+        if found:
+            self.hits += 1
+        return found
+
+    def reason_for(self, key: Hashable) -> PruneReason | None:
+        return self._table.get(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def reason_counts(self) -> dict[PruneReason, int]:
+        out: dict[PruneReason, int] = {}
+        for reason in self._table.values():
+            out[reason] = out.get(reason, 0) + 1
+        return out
+
+
+def minimum_deviation_prunes(
+    counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    delta: float,
+) -> bool:
+    """True if no group's support exceeds ``delta`` (prune rule 1)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    supports = np.divide(
+        counts, sizes, out=np.zeros_like(counts), where=sizes > 0
+    )
+    return bool(np.all(supports <= delta))
+
+
+def expected_count_prunes(
+    counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    minimum: float = 5.0,
+) -> bool:
+    """True if some expected contingency cell is below ``minimum``
+    (prune rule 2)."""
+    return min_expected_count(counts, group_sizes) < minimum
+
+
+def redundant_against_subset(
+    pattern: ContrastPattern,
+    subset: ContrastPattern,
+    alpha: float,
+) -> bool:
+    """CLT redundancy test against one subset pattern (Eq. 14-16).
+
+    The comparison is made between the same two groups the subset's
+    difference is computed on (its extreme-support pair), using the
+    subset's supports for the variance estimate.  When the subset's
+    supports are tied (e.g. the root region, where every group has support
+    1), the pattern's own extreme pair is used instead — a tied subset
+    carries no preferred direction.
+    """
+    hi = max(
+        range(len(subset.supports)), key=subset.supports.__getitem__
+    )
+    lo = min(
+        range(len(subset.supports)), key=subset.supports.__getitem__
+    )
+    if subset.supports[hi] == subset.supports[lo]:
+        hi = max(
+            range(len(pattern.supports)), key=pattern.supports.__getitem__
+        )
+        lo = min(
+            range(len(pattern.supports)), key=pattern.supports.__getitem__
+        )
+        if hi == lo:
+            lo = (hi + 1) % len(pattern.supports)
+    diff_subset = subset.supports[hi] - subset.supports[lo]
+    diff_current = pattern.supports[hi] - pattern.supports[lo]
+    return difference_is_statistically_same(
+        diff_current,
+        diff_subset,
+        subset.supports[hi],
+        subset.supports[lo],
+        subset.group_sizes[hi],
+        subset.group_sizes[lo],
+        alpha,
+    )
+
+
+def is_pure_space(
+    counts: Sequence[int] | np.ndarray, min_count: int = 1
+) -> bool:
+    """True if only one group is present in the space (PR = 1, rule 5)."""
+    counts = np.asarray(counts)
+    nonzero = int(np.count_nonzero(counts))
+    return nonzero == 1 and int(counts.sum()) >= min_count

@@ -1,0 +1,428 @@
+"""SDAD-CS: Supervised Dynamic and Adaptive Discretization for Contrast
+Sets (paper Algorithm 1).
+
+Given a categorical context itemset ``c`` and one or more continuous
+attributes ``ca``, SDAD-CS discovers contrast patterns whose items span all
+of ``c``'s attributes plus every attribute in ``ca``:
+
+1. *top-down* — split every continuous attribute at the median of the rows
+   in the current region, form all ``2^|ca|`` combinations of the halves,
+   evaluate each, and recurse into spaces whose optimistic estimate
+   (Eq. 6-11) still beats the live top-k threshold;
+2. *bottom-up* — merge contiguous spaces whose group distributions are not
+   statistically different, smallest hyper-volume first, as long as the
+   merged space remains a large and significant contrast.
+
+The recursion adapts bin boundaries to the local region (and to the
+categorical context), which is what lets it expose local multivariate
+interactions that global discretizers miss (Sections 1 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from . import measures
+from .config import MinerConfig
+from .contrast import ContrastPattern
+from .instrumentation import MiningStats
+from .items import Itemset
+from .optimistic import support_difference_estimate
+from .partition import (
+    Space,
+    are_contiguous,
+    find_combinations,
+    full_space,
+    merged_space,
+    partition_median,
+)
+from .pruning import (
+    PruneReason,
+    PruneTable,
+    expected_count_prunes,
+    is_pure_space,
+    minimum_deviation_prunes,
+    redundant_against_subset,
+)
+from .stats import AlphaLadder, chi_square_independence
+
+__all__ = ["SDADResult", "sdad_cs"]
+
+
+@dataclass
+class SDADResult:
+    """Output of one SDAD-CS invocation."""
+
+    patterns: list[ContrastPattern] = field(default_factory=list)
+    pure_itemsets: list[Itemset] = field(default_factory=list)
+    """Itemsets of spaces with PR = 1 — the outer search must not extend
+    these with further attributes (pure-space pruning, Section 4.3)."""
+
+
+class _SDADRun:
+    """One top-level SDAD-CS call over a fixed attribute combination."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        categorical: Itemset,
+        continuous: Sequence[str],
+        config: MinerConfig,
+        min_interest: float,
+        alpha_ladder: AlphaLadder,
+        stats: MiningStats,
+        prune_table: PruneTable,
+        base_level: int = 0,
+        known_pure: Sequence[Itemset] = (),
+    ) -> None:
+        self.dataset = dataset
+        self.categorical = categorical
+        self.continuous = tuple(continuous)
+        self.config = config
+        self.min_interest = min_interest
+        self.ladder = alpha_ladder
+        self.stats = stats
+        self.prune_table = prune_table
+        self.base_level = base_level
+        self.known_pure = tuple(known_pure)
+        self.measure = measures.get(config.interest_measure)
+        self.result = SDADResult()
+        self.pattern_level = base_level + len(self.continuous)
+        self.root_intervals: dict[str, object] = {}
+        self.all_contrasts: list[Space] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _alpha(self, split_level: int) -> float:
+        if not self.config.use_bonferroni:
+            return self.config.alpha
+        return self.ladder.alpha_for_level(self.base_level + split_level)
+
+    def _pattern_of(self, space: Space) -> ContrastPattern:
+        """Wrap a space as a pattern, dropping full-range numeric items.
+
+        After merging, an attribute whose interval grew back to its entire
+        observed range constrains nothing; keeping it would only create
+        degenerate supersets of the same contrast (e.g. ``noise in
+        [min, max] and x <= 5`` duplicating ``x <= 5``).  The SDAD-CS NP
+        configuration keeps them: those degenerate variants are part of
+        the redundant high-interest population the paper's no-pruning
+        comparison deliberately retains.
+        """
+        itemset = self.categorical
+        strip = not self.config.report_all_spaces
+        for item in space.numeric_items():
+            root = self.root_intervals.get(item.attribute)
+            if strip and root is not None and item.interval == root:
+                continue
+            itemset = itemset.with_item(item)
+        return ContrastPattern(
+            itemset=itemset,
+            counts=tuple(int(c) for c in space.counts),
+            group_sizes=self.dataset.group_sizes,
+            group_labels=self.dataset.group_labels,
+            level=self.pattern_level,
+            hypervolume=space.hypervolume,
+        )
+
+    def _split_space(self, space: Space) -> list[Space]:
+        """``partition`` + ``find_combs`` (Algorithm 1 lines 4-5)."""
+        splits = {}
+        for name in self.continuous:
+            halves = partition_median(
+                self.dataset, space, name, self.config.split_statistic
+            )
+            if halves is not None:
+                splits[name] = halves
+        if not splits:
+            return []
+        return find_combinations(self.dataset, space, splits)
+
+    # -- the recursion ----------------------------------------------------
+
+    def run(self) -> SDADResult:
+        self.stats.sdad_calls += 1
+        context_mask = (
+            self.categorical.cover(self.dataset)
+            if len(self.categorical)
+            else np.ones(self.dataset.n_rows, dtype=bool)
+        )
+        root = full_space(self.dataset, self.continuous, context_mask)
+        if root.total_count == 0:
+            return self.result
+        self.root_intervals = dict(root.intervals)
+        self.db_size = root.total_count
+        found = self._explore(root, level=1, parent_measure=0.0)
+        if self.config.merge and found:
+            # Final cross-depth pass: spaces returned from different
+            # recursion depths can still be contiguous along one axis
+            # (Figure 2: the merged result spans splits of several depths).
+            found = self._merge(found)
+        patterns = [self._pattern_of(s) for s in found]
+        if self.config.report_all_spaces:
+            # SDAD-CS NP: additionally emit every contrast space seen
+            # during the recursion (parents, Dtemp, unmerged children).
+            seen = {p.itemset for p in patterns}
+            for space in self.all_contrasts:
+                pattern = self._pattern_of(space)
+                if pattern.itemset not in seen:
+                    seen.add(pattern.itemset)
+                    patterns.append(pattern)
+        self.result.patterns = patterns
+        return self.result
+
+    def _interest_of(self, space: Space) -> float:
+        return self.measure(self._pattern_of(space))
+
+    def _explore(
+        self, region: Space, level: int, parent_measure: float
+    ) -> list[Space]:
+        """Recursive body of Algorithm 1.
+
+        Returns contrast spaces found inside ``region``, already merged at
+        this frame's granularity; empty when nothing inside beats
+        ``parent_measure`` (the caller then considers ``region`` itself).
+
+        The bottom-up merge (lines 26-29) runs in every frame over the
+        frame's own contrast spaces before the parent-measure gate is
+        applied: two pure sibling half-boxes may individually score below
+        their parent yet merge into a region that clearly beats it (this
+        is how the walkthrough of Figure 2 arrives at its final panel).
+        """
+        spaces = self._split_space(region)
+        if not spaces:
+            return []
+        alpha = self._alpha(level)
+        contrasts_here: list[Space] = []
+        from_children: list[Space] = []
+
+        region_pattern = self._pattern_of(region)
+        for space in spaces:
+            if self._can_prune(space, region_pattern, alpha):
+                continue
+            self.stats.partitions_evaluated += 1
+            pattern = self._pattern_of(space)
+            interest = self.measure(pattern)
+            pure = is_pure_space(space.counts)
+            is_contrast = pattern.is_contrast(self.config.delta, alpha)
+            if is_contrast and self.config.report_all_spaces:
+                # NP mode records every contrast space, including ones
+                # later superseded by their children or left in Dtemp.
+                self.all_contrasts.append(space)
+
+            child_found: list[Space] = []
+            recurse_ok = (
+                level < self.config.max_split_depth
+                and not (pure and self.config.prune_pure_space)
+            )
+            if recurse_ok and self._optimistic_allows(space, level):
+                child_found = self._explore(
+                    space, level + 1, parent_measure=interest
+                )
+            if child_found:
+                from_children.extend(child_found)
+                continue
+
+            if pure and is_contrast:
+                self.result.pure_itemsets.append(pattern.itemset)
+            if is_contrast:
+                contrasts_here.append(space)
+
+        if self.config.merge and contrasts_here:
+            contrasts_here = self._merge(contrasts_here)
+
+        better = [
+            s for s in contrasts_here if self._interest_of(s) > parent_measure
+        ]
+        deferred = [
+            s
+            for s in contrasts_here
+            if self._interest_of(s) <= parent_measure
+        ]  # Dtemp
+        found = from_children + better
+        if found:
+            return found + deferred  # Algorithm 1 lines 22-23
+        return []
+
+    # Interest measures whose specialisations are bounded by the Eq. 6-11
+    # support-difference estimate: the difference itself, and the
+    # Surprising Measure (PR <= 1, so oe(PR x Diff) = oe(Diff), Sec. 4.2).
+    _DIFF_BOUNDED_MEASURES = frozenset({"support_difference", "surprising"})
+
+    def _optimistic_allows(self, space: Space, level: int) -> bool:
+        """Gate on the Eq. 6-11 child-space estimate (lines 12-13).
+
+        Only applies to measures the estimate actually bounds; for purity
+        ratio (which any space can drive to 1 in a small enough child) and
+        other measures, no admissible interest-based bound exists and the
+        recursion is gated by the other pruning rules alone.
+        """
+        if not self.config.prune_optimistic:
+            return True
+        if self.config.interest_measure not in self._DIFF_BOUNDED_MEASURES:
+            return True
+        estimate = support_difference_estimate(
+            space.counts,
+            self.dataset.group_sizes,
+            self.db_size,
+            level,
+            len(self.continuous),
+        )
+        return estimate > self.min_interest
+
+    def _can_prune(
+        self, space: Space, parent: ContrastPattern, alpha: float
+    ) -> bool:
+        """Algorithm 1 line 7: lookup table + cheap rules."""
+        key = (self.categorical, space.key())
+        if self.prune_table.contains(key):
+            self.stats.spaces_pruned += 1
+            return True
+
+        reason: PruneReason | None = None
+        if space.total_count == 0:
+            reason = PruneReason.EMPTY
+        elif self.config.prune_pure_space and self._inside_pure_region(space):
+            reason = PruneReason.PURE_SPACE
+        elif self.config.prune_min_deviation and minimum_deviation_prunes(
+            space.counts, self.dataset.group_sizes, self.config.delta
+        ):
+            reason = PruneReason.MIN_DEVIATION
+        elif self.config.prune_expected_count and expected_count_prunes(
+            space.counts,
+            self.dataset.group_sizes,
+            self.config.min_expected_count,
+        ):
+            reason = PruneReason.EXPECTED_COUNT
+        elif self.config.prune_redundant and parent.total_count > 0:
+            pattern = self._pattern_of(space)
+            if redundant_against_subset(pattern, parent, alpha):
+                reason = PruneReason.REDUNDANT
+
+        if reason is not None:
+            self.prune_table.add(key, reason)
+            self.stats.spaces_pruned += 1
+            return True
+        return False
+
+    def _inside_pure_region(self, space: Space) -> bool:
+        """Pure-space pruning across combinations (Section 4.3): a box
+        lying inside an already-known PR = 1 region can only restate that
+        pure contrast with extra, redundant items."""
+        candidate = space.itemset_with(self.categorical)
+        for pure in self.known_pure:
+            if len(candidate) > len(pure) and pure.region_subsumes(candidate):
+                return True
+        return False
+
+    # -- bottom-up merge ---------------------------------------------------
+
+    def _merge(self, spaces: list[Space]) -> list[Space]:
+        """Algorithm 1 lines 26-29: merge contiguous similar spaces,
+        smallest first, while the result stays large and significant."""
+        alpha = self._alpha(1)
+        spaces = sorted(spaces, key=lambda s: s.hypervolume)
+        merged_any = True
+        while merged_any:
+            merged_any = False
+            for i in range(len(spaces)):
+                for j in range(i + 1, len(spaces)):
+                    combined = self._try_merge(spaces[i], spaces[j], alpha)
+                    if combined is None:
+                        continue
+                    del spaces[j]
+                    del spaces[i]
+                    spaces.append(combined)
+                    spaces.sort(key=lambda s: s.hypervolume)
+                    self.stats.merges_performed += 1
+                    merged_any = True
+                    break
+                if merged_any:
+                    break
+        return spaces
+
+    def _try_merge(
+        self, a: Space, b: Space, alpha: float
+    ) -> Space | None:
+        if not are_contiguous(a, b):
+            return None
+        # Similarity: are the two spaces' group distributions the same?
+        table = np.vstack([a.counts, b.counts])
+        similar = not chi_square_independence(table).significant_at(
+            self.config.merge_alpha
+        )
+        if not similar:
+            return None
+        combined = merged_space(a, b)
+        pattern = self._pattern_of(combined)
+        if not pattern.is_contrast(self.config.delta, alpha):
+            return None
+        return combined
+
+
+def sdad_cs(
+    dataset: Dataset,
+    categorical: Itemset,
+    continuous: Sequence[str],
+    config: MinerConfig | None = None,
+    min_interest: float | None = None,
+    alpha_ladder: AlphaLadder | None = None,
+    stats: MiningStats | None = None,
+    prune_table: PruneTable | None = None,
+    base_level: int = 0,
+    known_pure: Sequence[Itemset] = (),
+) -> SDADResult:
+    """Run SDAD-CS for one attribute combination.
+
+    Parameters
+    ----------
+    dataset:
+        The data restricted to the groups of interest.
+    categorical:
+        Fixed categorical context items (may be empty).
+    continuous:
+        Continuous attributes to discretize jointly (at least one).
+    config:
+        Miner configuration; defaults to the paper's setup.
+    min_interest:
+        Live top-k threshold (``min support`` in Algorithm 1); defaults to
+        ``config.delta``.
+    alpha_ladder / stats / prune_table:
+        Shared state when called from the outer search; fresh instances are
+        created for standalone use.
+    base_level:
+        Search-tree level of the categorical context (for the Bonferroni
+        ladder).
+    known_pure:
+        PR = 1 itemsets discovered earlier in the search; boxes inside
+        those regions are pruned (pure-space pruning, Section 4.3).
+
+    Returns
+    -------
+    SDADResult
+        Contrast patterns covering all requested attributes, plus the
+        itemsets of pure (PR = 1) spaces for pure-space pruning upstream.
+    """
+    if not continuous:
+        raise ValueError("sdad_cs needs at least one continuous attribute")
+    for name in continuous:
+        if not dataset.attribute(name).is_continuous:
+            raise ValueError(f"attribute {name!r} is not continuous")
+    config = config or MinerConfig()
+    run = _SDADRun(
+        dataset,
+        categorical,
+        tuple(continuous),
+        config,
+        config.delta if min_interest is None else min_interest,
+        alpha_ladder or AlphaLadder(config.alpha),
+        stats or MiningStats(),
+        prune_table or PruneTable(),
+        base_level=base_level,
+        known_pure=known_pure,
+    )
+    return run.run()

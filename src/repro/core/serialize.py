@@ -1,0 +1,126 @@
+"""JSON-friendly serialization of itemsets and contrast patterns.
+
+Production pipelines persist mined patterns (to re-evaluate on tomorrow's
+data, to diff against yesterday's run, to feed a dashboard).  This module
+provides a stable dict schema plus round-trip loaders::
+
+    payload = pattern_to_dict(pattern)
+    json.dumps(payload)
+    ...
+    restored = pattern_from_dict(payload)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from .contrast import ContrastPattern
+from .items import CategoricalItem, Interval, Itemset, NumericItem
+
+__all__ = [
+    "item_to_dict",
+    "item_from_dict",
+    "itemset_to_dict",
+    "itemset_from_dict",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "patterns_to_dicts",
+    "patterns_from_dicts",
+]
+
+
+def item_to_dict(item) -> dict[str, Any]:
+    if isinstance(item, CategoricalItem):
+        return {
+            "kind": "categorical",
+            "attribute": item.attribute,
+            "value": item.value,
+        }
+    if isinstance(item, NumericItem):
+        iv = item.interval
+        return {
+            "kind": "numeric",
+            "attribute": item.attribute,
+            "lo": None if math.isinf(iv.lo) else iv.lo,
+            "hi": None if math.isinf(iv.hi) else iv.hi,
+            "lo_closed": iv.lo_closed,
+            "hi_closed": iv.hi_closed,
+        }
+    raise TypeError(f"unknown item type: {type(item).__name__}")
+
+
+def item_from_dict(payload: Mapping[str, Any]):
+    kind = payload.get("kind")
+    if kind == "categorical":
+        return CategoricalItem(payload["attribute"], payload["value"])
+    if kind == "numeric":
+        lo = payload.get("lo")
+        hi = payload.get("hi")
+        return NumericItem(
+            payload["attribute"],
+            Interval(
+                -math.inf if lo is None else float(lo),
+                math.inf if hi is None else float(hi),
+                bool(payload.get("lo_closed", False)),
+                bool(payload.get("hi_closed", True)),
+            ),
+        )
+    raise ValueError(f"unknown item kind: {kind!r}")
+
+
+def itemset_to_dict(itemset: Itemset) -> dict[str, Any]:
+    return {"items": [item_to_dict(item) for item in itemset]}
+
+
+def itemset_from_dict(payload: Mapping[str, Any]) -> Itemset:
+    return Itemset(
+        item_from_dict(item) for item in payload.get("items", [])
+    )
+
+
+def pattern_to_dict(pattern: ContrastPattern) -> dict[str, Any]:
+    """Serialise a pattern with its evaluation statistics.
+
+    Derived metrics are included for consumers (dashboards) but ignored
+    on load — counts are the source of truth.
+    """
+    return {
+        "itemset": itemset_to_dict(pattern.itemset),
+        "counts": list(pattern.counts),
+        "group_sizes": list(pattern.group_sizes),
+        "group_labels": list(pattern.group_labels),
+        "level": pattern.level,
+        "hypervolume": pattern.hypervolume,
+        "derived": {
+            "supports": list(pattern.supports),
+            "support_difference": pattern.support_difference,
+            "purity_ratio": pattern.purity_ratio,
+            "surprising_measure": pattern.surprising_measure,
+            "p_value": pattern.significance_p_value,
+            "dominant_group": pattern.dominant_group,
+        },
+    }
+
+
+def pattern_from_dict(payload: Mapping[str, Any]) -> ContrastPattern:
+    return ContrastPattern(
+        itemset=itemset_from_dict(payload["itemset"]),
+        counts=tuple(int(c) for c in payload["counts"]),
+        group_sizes=tuple(int(s) for s in payload["group_sizes"]),
+        group_labels=tuple(payload["group_labels"]),
+        level=int(payload.get("level", 1)),
+        hypervolume=float(payload.get("hypervolume", 1.0)),
+    )
+
+
+def patterns_to_dicts(
+    patterns: Sequence[ContrastPattern],
+) -> list[dict[str, Any]]:
+    return [pattern_to_dict(p) for p in patterns]
+
+
+def patterns_from_dicts(
+    payloads: Sequence[Mapping[str, Any]],
+) -> list[ContrastPattern]:
+    return [pattern_from_dict(p) for p in payloads]

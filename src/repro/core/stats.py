@@ -1,0 +1,216 @@
+"""Statistical machinery used throughout the miner.
+
+Includes the chi-square independence test STUCCO and SDAD-CS rely on
+(Eq. 3), Fisher's exact test for tiny tables, the Bonferroni-style alpha
+ladder of Bay & Pazzani, the central-limit-theorem difference bound used by
+the redundancy pruning rule (Eq. 14-16), and the Wilcoxon-Mann-Whitney test
+used by the Table 4 comparison harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "ChiSquareResult",
+    "chi_square_independence",
+    "contingency_from_counts",
+    "fisher_exact_2x2",
+    "expected_counts",
+    "min_expected_count",
+    "AlphaLadder",
+    "clt_difference_bound",
+    "difference_is_statistically_same",
+    "mann_whitney_u",
+]
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a chi-square test of independence."""
+
+    statistic: float
+    p_value: float
+    dof: int
+
+    def significant_at(self, alpha: float) -> bool:
+        return self.p_value < alpha
+
+
+def contingency_from_counts(
+    in_counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Build the 2 x k contingency table (in-space vs out-of-space x group).
+
+    Row 0 holds the per-group counts of rows covered by the itemset, row 1
+    the per-group counts of rows not covered.  This is the table STUCCO's
+    significance test is computed on.
+    """
+    in_counts = np.asarray(in_counts, dtype=np.float64)
+    group_sizes = np.asarray(group_sizes, dtype=np.float64)
+    if in_counts.shape != group_sizes.shape:
+        raise ValueError("in_counts and group_sizes must align")
+    if np.any(in_counts > group_sizes):
+        raise ValueError("count exceeds group size")
+    return np.vstack([in_counts, group_sizes - in_counts])
+
+
+def expected_counts(table: np.ndarray) -> np.ndarray:
+    """Expected cell counts under independence for a contingency table."""
+    table = np.asarray(table, dtype=np.float64)
+    total = table.sum()
+    if total <= 0:
+        return np.zeros_like(table)
+    return np.outer(table.sum(axis=1), table.sum(axis=0)) / total
+
+
+def min_expected_count(
+    in_counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> float:
+    """Smallest expected cell count of the itemset's contingency table.
+
+    The paper prunes itemsets whose expected occurrence is below 5 because
+    the chi-square approximation is unreliable there (Section 3).
+    """
+    table = contingency_from_counts(in_counts, group_sizes)
+    expected = expected_counts(table)
+    return float(expected.min()) if expected.size else 0.0
+
+
+def chi_square_independence(
+    table: np.ndarray, yates: bool = False
+) -> ChiSquareResult:
+    """Pearson chi-square test of independence on a contingency table.
+
+    Rows or columns whose marginal is zero are dropped (they carry no
+    information and would produce 0/0 expected counts).  Returns a
+    non-significant result (p = 1) when the reduced table is degenerate.
+    """
+    table = np.asarray(table, dtype=np.float64)
+    if table.ndim != 2:
+        raise ValueError("contingency table must be 2-dimensional")
+    table = table[table.sum(axis=1) > 0][:, table.sum(axis=0) > 0]
+    if table.shape[0] < 2 or table.shape[1] < 2:
+        return ChiSquareResult(0.0, 1.0, 0)
+    expected = expected_counts(table)
+    diff = np.abs(table - expected)
+    if yates and table.shape == (2, 2):
+        diff = np.maximum(diff - 0.5, 0.0)
+    statistic = float((diff**2 / expected).sum())
+    dof = (table.shape[0] - 1) * (table.shape[1] - 1)
+    p_value = float(_scipy_stats.chi2.sf(statistic, dof))
+    return ChiSquareResult(statistic, p_value, dof)
+
+
+def fisher_exact_2x2(table: np.ndarray) -> float:
+    """Two-sided Fisher exact test p-value for a 2x2 table.
+
+    Used as the small-sample fallback when expected counts drop under 5 and
+    a caller still needs a significance decision (e.g. merging tiny spaces).
+    """
+    table = np.asarray(table, dtype=np.int64)
+    if table.shape != (2, 2):
+        raise ValueError("fisher exact test needs a 2x2 table")
+    return float(_scipy_stats.fisher_exact(table)[1])
+
+
+class AlphaLadder:
+    """Bonferroni-style alpha adjustment over search-tree levels.
+
+    Bay & Pazzani divide the overall significance budget across levels:
+    level ``l`` receives at most ``alpha / 2^l`` which is then split across
+    the candidates actually tested at that level, and the ladder is
+    monotone non-increasing so deeper levels are never *easier* to pass.
+    """
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self._level_alphas: dict[int, float] = {}
+
+    def alpha_for_level(self, level: int, n_candidates: int = 1) -> float:
+        """Adjusted alpha for a 1-based search level with ``n_candidates``
+        simultaneous tests."""
+        if level < 1:
+            raise ValueError("levels are 1-based")
+        budget = self.alpha / (2**level) / max(1, n_candidates)
+        previous = self._level_alphas.get(level - 1, self.alpha)
+        adjusted = min(budget, previous)
+        existing = self._level_alphas.get(level)
+        if existing is None or adjusted < existing:
+            self._level_alphas[level] = adjusted
+        return self._level_alphas[level]
+
+
+def clt_difference_bound(
+    supp_x: float,
+    supp_y: float,
+    n_x: int,
+    n_y: int,
+    alpha: float = 0.05,
+) -> float:
+    """Half-width of the CLT confidence band on a support difference.
+
+    Implements Eq. 14-16: the sampling variance of the support difference
+    between two groups is ``p_x(1-p_x)/n_x + p_y(1-p_y)/n_y``; the band is
+    the normal ``1 - alpha/2`` quantile times that standard error.  (The
+    paper writes ``alpha * sqrt(a+b)`` — a significance level only makes
+    sense here as its z-quantile, see DESIGN.md substitution #5.)
+    """
+    if n_x <= 0 or n_y <= 0:
+        return math.inf
+    a = supp_x * (1.0 - supp_x) / n_x
+    b = supp_y * (1.0 - supp_y) / n_y
+    z = float(_scipy_stats.norm.ppf(1.0 - alpha / 2.0))
+    return z * math.sqrt(a + b)
+
+
+def difference_is_statistically_same(
+    diff_current: float,
+    diff_subset: float,
+    subset_supp_x: float,
+    subset_supp_y: float,
+    n_x: int,
+    n_y: int,
+    alpha: float = 0.05,
+) -> bool:
+    """Redundancy test of Section 4.3: is the current itemset's support
+    difference within the CLT band around its subset's difference?
+
+    If yes, the specialisation adds nothing over the subset and the
+    itemset (and its supersets) are pruned as redundant.
+    """
+    bound = clt_difference_bound(
+        subset_supp_x, subset_supp_y, n_x, n_y, alpha
+    )
+    return abs(diff_current - diff_subset) <= bound
+
+
+def mann_whitney_u(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> float:
+    """Two-sided Wilcoxon-Mann-Whitney p-value (Table 4's ``*`` marker).
+
+    Returns 1.0 when either sample is empty or both samples are constant
+    and identical (no evidence of a difference).
+    """
+    a = np.asarray(list(sample_a), dtype=np.float64)
+    b = np.asarray(list(sample_b), dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        return 1.0
+    if np.all(a == a[0]) and np.all(b == b[0]) and a[0] == b[0]:
+        return 1.0
+    try:
+        return float(
+            _scipy_stats.mannwhitneyu(a, b, alternative="two-sided").pvalue
+        )
+    except ValueError:
+        return 1.0

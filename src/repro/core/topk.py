@@ -1,0 +1,106 @@
+"""Top-k contrast list (paper Section 3, "Top-k pattern mining").
+
+Keeping the best ``k`` patterns by interest measure removes the need for a
+user-supplied minimum-interest threshold and feeds the optimistic-estimate
+pruning: once the list holds ``k`` patterns, its worst interest value is the
+live pruning threshold; before that the threshold is ``delta``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from .contrast import ContrastPattern
+
+__all__ = ["TopKList"]
+
+
+class TopKList:
+    """A bounded best-k collection of contrast patterns.
+
+    Patterns are ranked by a pre-computed interest value.  Duplicate
+    itemsets are collapsed (keeping the higher interest).  The structure is
+    a min-heap so threshold queries and insertions are O(log k).
+    """
+
+    def __init__(self, k: int, delta: float = 0.0) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.delta = delta
+        self._heap: list[tuple[float, int, ContrastPattern]] = []
+        self._by_itemset: dict = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._by_itemset)
+
+    def __iter__(self) -> Iterator[ContrastPattern]:
+        return iter(self.patterns())
+
+    @property
+    def threshold(self) -> float:
+        """Current minimum interest a new pattern must beat (Algorithm 1's
+        ``min support`` input: the k-th best value once full, else delta)."""
+        if len(self._by_itemset) < self.k:
+            return self.delta
+        return self._heap[0][0]
+
+    def would_accept(self, interest: float) -> bool:
+        return interest > self.threshold or len(self._by_itemset) < self.k
+
+    def add(self, pattern: ContrastPattern, interest: float) -> bool:
+        """Insert a pattern; returns True if it made the list."""
+        existing = self._by_itemset.get(pattern.itemset)
+        if existing is not None:
+            if interest <= existing:
+                return False
+            self._by_itemset[pattern.itemset] = interest
+            # Lazy deletion: the stale heap entry is skipped on pop.
+            heapq.heappush(
+                self._heap, (interest, next(self._counter), pattern)
+            )
+            return True
+        if len(self._by_itemset) >= self.k and interest <= self.threshold:
+            return False
+        self._by_itemset[pattern.itemset] = interest
+        heapq.heappush(self._heap, (interest, next(self._counter), pattern))
+        self._compact()
+        return True
+
+    def _compact(self) -> None:
+        """Evict overflow and stale entries from the heap."""
+        while len(self._by_itemset) > self.k and self._heap:
+            interest, _, pattern = heapq.heappop(self._heap)
+            current = self._by_itemset.get(pattern.itemset)
+            if current is not None and current == interest:
+                del self._by_itemset[pattern.itemset]
+            # stale entries simply disappear
+        while self._heap:
+            interest, _, pattern = self._heap[0]
+            current = self._by_itemset.get(pattern.itemset)
+            if current is None or current != interest:
+                heapq.heappop(self._heap)
+            else:
+                break
+
+    def patterns(self) -> list[ContrastPattern]:
+        """Patterns sorted by decreasing interest."""
+        seen: set = set()
+        ranked: list[tuple[float, int, ContrastPattern]] = []
+        for interest, tie, pattern in self._heap:
+            current = self._by_itemset.get(pattern.itemset)
+            if current is None or current != interest:
+                continue
+            if pattern.itemset in seen:
+                continue
+            seen.add(pattern.itemset)
+            ranked.append((interest, tie, pattern))
+        ranked.sort(key=lambda t: (-t[0], t[1]))
+        return [pattern for _, _, pattern in ranked]
+
+    def interests(self) -> dict:
+        """Mapping itemset -> interest for the current contents."""
+        return dict(self._by_itemset)

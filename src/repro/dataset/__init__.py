@@ -1,0 +1,14 @@
+"""Tabular data substrate: schema, columnar storage, I/O and generators."""
+
+from .schema import Attribute, AttributeKind, Schema, SchemaError
+from .table import Dataset, DatasetError, GroupInfo
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "SchemaError",
+    "Dataset",
+    "DatasetError",
+    "GroupInfo",
+]

@@ -1,0 +1,193 @@
+"""CSV import/export with schema inference (no pandas dependency).
+
+Real deployments of the miner read operational exports; the examples and
+tests round-trip datasets through this module.  Inference rules: a column
+parses as continuous if every non-missing value is a float; otherwise it is
+categorical.  The group column is named explicitly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .schema import Attribute, Schema
+from .table import Dataset, DatasetError
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+_MISSING = {"", "?", "na", "n/a", "nan", "null", "none"}
+
+
+def _is_missing(token: str) -> bool:
+    return token.strip().lower() in _MISSING
+
+
+def _parse_rows(text: str, delimiter: str) -> tuple[list[str], list[list[str]]]:
+    reader = csv.reader(_io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise DatasetError("empty CSV input")
+    header, body = rows[0], rows[1:]
+    width = len(header)
+    for i, row in enumerate(body):
+        if len(row) != width:
+            raise DatasetError(
+                f"row {i + 2} has {len(row)} fields, expected {width}"
+            )
+    return [h.strip() for h in header], [
+        [cell.strip() for cell in row] for row in body
+    ]
+
+
+def infer_schema(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    group_column: str,
+) -> Schema:
+    """Infer attribute kinds from string cells.
+
+    A column is continuous when every non-missing cell parses as a float;
+    categorical otherwise (categories in first-appearance order).
+    """
+    if group_column not in header:
+        raise DatasetError(f"group column {group_column!r} not in header")
+    attributes: list[Attribute] = []
+    for j, name in enumerate(header):
+        if name == group_column:
+            continue
+        cells = [row[j] for row in rows if not _is_missing(row[j])]
+        continuous = bool(cells)
+        for cell in cells:
+            try:
+                float(cell)
+            except ValueError:
+                continuous = False
+                break
+        if continuous:
+            attributes.append(Attribute.continuous(name))
+        else:
+            categories = tuple(dict.fromkeys(cells))
+            if not categories:
+                raise DatasetError(f"column {name!r} has no usable values")
+            attributes.append(Attribute.categorical(name, categories))
+    return Schema.of(attributes)
+
+
+def read_csv(
+    path: str | Path,
+    group_column: str,
+    delimiter: str = ",",
+    schema: Schema | None = None,
+    drop_missing: bool = True,
+    missing: str | None = None,
+) -> Dataset:
+    """Load a CSV file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    group_column:
+        Name of the column holding group membership.
+    schema:
+        Optional pre-built schema; inferred from the data when omitted.
+    drop_missing:
+        Legacy toggle: drop rows with any missing cell (True, default) or
+        raise on them (False).  Ignored when ``missing`` is given.
+    missing:
+        Missing-value policy overriding ``drop_missing``:
+
+        * ``"drop"`` — drop incomplete rows;
+        * ``"keep"`` — keep them: missing continuous cells become NaN
+          (never covered by any numeric item) and missing categorical
+          cells become an explicit ``"?"`` category;
+        * ``"error"`` — raise on the first missing cell.
+    """
+    if missing is None:
+        missing = "drop" if drop_missing else "error"
+    if missing not in ("drop", "keep", "error"):
+        raise ValueError("missing must be 'drop', 'keep', or 'error'")
+
+    text = Path(path).read_text()
+    header, rows = _parse_rows(text, delimiter)
+    if missing == "drop":
+        rows = [
+            row for row in rows if not any(_is_missing(cell) for cell in row)
+        ]
+    elif missing == "error":
+        for i, row in enumerate(rows):
+            if any(_is_missing(cell) for cell in row):
+                raise DatasetError(f"missing value in row {i + 2}")
+    else:  # keep
+        for i, row in enumerate(rows):
+            if _is_missing(row[header.index(group_column)]):
+                raise DatasetError(
+                    f"missing group label in row {i + 2}; the group "
+                    "column cannot be missing"
+                )
+    if not rows:
+        raise DatasetError("no complete rows in CSV input")
+    if schema is None:
+        schema = infer_schema(header, rows, group_column)
+
+    if missing == "keep":
+        # rewrite missing cells: NaN for continuous, "?" for categorical
+        index = {name: j for j, name in enumerate(header)}
+        patched_attrs = []
+        for attr in schema:
+            j = index[attr.name]
+            has_missing = any(_is_missing(row[j]) for row in rows)
+            if not has_missing:
+                patched_attrs.append(attr)
+                continue
+            if attr.is_continuous:
+                for row in rows:
+                    if _is_missing(row[j]):
+                        row[j] = "nan"
+                patched_attrs.append(attr)
+            else:
+                categories = attr.categories
+                if "?" not in categories:
+                    categories = categories + ("?",)
+                for row in rows:
+                    if _is_missing(row[j]):
+                        row[j] = "?"
+                patched_attrs.append(
+                    Attribute.categorical(attr.name, categories)
+                )
+        schema = Schema.of(patched_attrs)
+
+    index = {name: j for j, name in enumerate(header)}
+    records = (
+        {name: row[index[name]] for name in list(schema.names) + [group_column]}
+        for row in rows
+    )
+    # from_records expects the group under its own key name
+    return Dataset.from_records(records, schema, group_name=group_column)
+
+
+def write_csv(
+    dataset: Dataset, path: str | Path, delimiter: str = ","
+) -> None:
+    """Write a dataset (including its group column) to CSV."""
+    path = Path(path)
+    header = list(dataset.schema.names) + [dataset.group_name]
+    codes = dataset.group_codes
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(header)
+        columns = []
+        for attr in dataset.schema:
+            col = dataset.column(attr.name)
+            if attr.is_categorical:
+                columns.append([attr.label_of(int(c)) for c in col])
+            else:
+                columns.append([repr(float(v)) for v in col])
+        groups = [dataset.group_labels[int(c)] for c in codes]
+        for i in range(dataset.n_rows):
+            writer.writerow([col[i] for col in columns] + [groups[i]])

@@ -1,0 +1,209 @@
+"""Synthetic semiconductor packaging/test data (paper Section 6, Table 7).
+
+The paper's case study uses proprietary Intel data: per-package records
+from the segment between wafer test and final test, with ~148 attributes
+(~30 continuous) covering equipment routing (chip-attach modules, placement
+tools, tray positions, test heads...), process sensor readings (reflow
+temperatures, times above solder liquidus), and test outcomes.  The
+comparison is a random *population sample* vs the *parts failing one
+specific test*.
+
+This generator plants the exact failure mechanism Table 7 reports: the
+**rear lane of one chip-attach module (CAM entity "SCE", fed by placement
+tool "JVF") runs hot**, so impacted parts spend longer above the solder
+liquidus temperature and see higher peak reflow temperatures; failures
+concentrate on that equipment path and on the rear tray row.  Everything
+else is process noise.
+
+Planted supports mirror Table 7 (population vs failing sample):
+
+=====================================  ==========  =======
+contrast                               population  failing
+=====================================  ==========  =======
+CAM entity = SCE                       0.28        0.55
+Placement tool = JVF                   0.28        0.55
+CAM row location = Rear                0.34        0.50
+CAM time above liquidus in hot window  0.04        0.21
+CAM peak temperature in hot window     0.24        0.37
+Die temp above std in hot window       0.13        0.30
+=====================================  ==========  =======
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Attribute, Schema
+from .table import Dataset
+
+__all__ = ["manufacturing", "scaling_dataset"]
+
+GROUPS = ("Population", "Failed")
+
+
+def manufacturing(
+    n_population: int = 3000,
+    n_failed: int = 420,
+    seed: int = 2019,
+    n_noise_categorical: int = 118,
+    n_noise_continuous: int = 24,
+    missing_rate: float = 0.0,
+) -> Dataset:
+    """Generate the Section 6 case-study dataset.
+
+    Defaults give 148 attributes (30 continuous, 118 categorical) like the
+    paper's limited test extract.  The failure signals are planted on the
+    first few named attributes; the ``tool_*`` and ``sensor_*`` columns are
+    group-independent noise mimicking the bulk of the trace data.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_population + n_failed
+    failed = np.concatenate(
+        [
+            np.zeros(n_population, dtype=np.int64),
+            np.ones(n_failed, dtype=np.int64),
+        ]
+    )
+
+    def pick(pop_probs, fail_probs):
+        pop = rng.choice(len(pop_probs), n_population, p=pop_probs)
+        bad = rng.choice(len(fail_probs), n_failed, p=fail_probs)
+        return np.concatenate([pop, bad])
+
+    attributes: list[Attribute] = []
+    columns: dict[str, np.ndarray] = {}
+
+    # --- the planted equipment path (Table 7 rows 1, 2, 5) ---------------
+    cams = ("SCA", "SCB", "SCC", "SCE")
+    cam = pick([0.26, 0.24, 0.22, 0.28], [0.17, 0.15, 0.13, 0.55])
+    attributes.append(Attribute.categorical("CAM entity", cams))
+    columns["CAM entity"] = cam
+
+    # placement tool is tied to the CAM (JVF feeds SCE)
+    tools = ("JVA", "JVB", "JVC", "JVF")
+    tool = np.where(
+        cam == 3,
+        np.where(rng.uniform(0, 1, n) < 0.97, 3, rng.integers(0, 3, n)),
+        rng.integers(0, 3, n),
+    ).astype(np.int64)
+    attributes.append(Attribute.categorical("Placement tool", tools))
+    columns["Placement tool"] = tool
+
+    rows_ = ("Front", "Middle", "Rear")
+    row = pick([0.33, 0.33, 0.34], [0.26, 0.24, 0.50])
+    attributes.append(Attribute.categorical("CAM row location", rows_))
+    columns["CAM row location"] = row
+
+    # --- thermal signals (Table 7 rows 3, 4, 6, 7) ------------------------
+    # The hot rear lane of SCE: failing parts drawn from shifted windows.
+    hot = (failed == 1) & (
+        rng.uniform(0, 1, n) < 0.45
+    )  # subset of failures actually caused by the lane
+
+    time_liq = rng.normal(88.0, 2.4, n)
+    time_liq[hot] = rng.normal(92.4, 0.6, int(hot.sum()))
+    attributes.append(Attribute.continuous("CAM time above liquidus"))
+    columns["CAM time above liquidus"] = time_liq
+
+    peak = rng.normal(251.0, 3.1, n)
+    peak[hot] = rng.normal(255.4, 1.2, int(hot.sum()))
+    attributes.append(Attribute.continuous("CAM Peak temperature"))
+    columns["CAM Peak temperature"] = peak
+
+    peak_std = rng.normal(10.35, 0.22, n)
+    peak_std[hot] = rng.normal(10.58, 0.05, int(hot.sum()))
+    attributes.append(Attribute.continuous("CAM peak temp std"))
+    columns["CAM peak temp std"] = peak_std
+
+    die_above = rng.normal(66.9, 0.35, n)
+    die_above[hot] = rng.normal(67.22, 0.03, int(hot.sum()))
+    attributes.append(Attribute.continuous("Die temp above std"))
+    columns["Die temp above std"] = die_above
+
+    # --- other process context (group-independent) ------------------------
+    attributes.append(
+        Attribute.categorical("Test head", ("TH1", "TH2", "TH3"))
+    )
+    columns["Test head"] = rng.integers(0, 3, n)
+    attributes.append(
+        Attribute.categorical("Oven lane", ("L1", "L2", "L3", "L4"))
+    )
+    columns["Oven lane"] = rng.integers(0, 4, n)
+    attributes.append(
+        Attribute.categorical("Bond head", ("BH1", "BH2"))
+    )
+    columns["Bond head"] = rng.integers(0, 2, n)
+
+    for i in range(n_noise_categorical - 6):
+        name = f"tool_{i + 1:03d}"
+        levels = int(rng.integers(2, 6))
+        cats = tuple(f"E{j}" for j in range(levels))
+        attributes.append(Attribute.categorical(name, cats))
+        columns[name] = rng.integers(0, levels, n)
+
+    for i in range(n_noise_continuous):
+        name = f"sensor_{i + 1:03d}"
+        loc = float(rng.uniform(-2, 2))
+        scale = float(rng.uniform(0.5, 3.0))
+        attributes.append(Attribute.continuous(name))
+        columns[name] = rng.normal(loc, scale, n)
+
+    # two mildly correlated sensors to exercise redundancy pruning
+    attributes.append(Attribute.continuous("sensor_dup_a"))
+    attributes.append(Attribute.continuous("sensor_dup_b"))
+    base = rng.normal(0, 1, n)
+    columns["sensor_dup_a"] = base
+    columns["sensor_dup_b"] = base + rng.normal(0, 0.05, n)
+
+    if missing_rate > 0:
+        # sensor dropouts: real trace data has gaps (Section 4.3 notes
+        # missing values are common in practice)
+        for attr in attributes:
+            if attr.is_continuous:
+                dropout = rng.uniform(0, 1, n) < missing_rate
+                columns[attr.name] = np.where(
+                    dropout, np.nan, columns[attr.name]
+                )
+
+    order = rng.permutation(n)
+    columns = {k: v[order] for k, v in columns.items()}
+    return Dataset(Schema.of(attributes), columns, failed[order], GROUPS)
+
+
+def scaling_dataset(
+    n_rows: int, n_features: int = 120, seed: int = 7
+) -> Dataset:
+    """Large synthetic trace for the Section 6 scaling experiment
+    (100k/500k/1M rows x 120 features in the paper; pass laptop-sized
+    ``n_rows`` here).
+
+    Half the features are continuous, half categorical; a handful carry
+    weak signals so mining does real work instead of pruning everything at
+    level 1.
+    """
+    rng = np.random.default_rng(seed)
+    n_cont = n_features // 2
+    n_cat = n_features - n_cont
+    group = (rng.uniform(0, 1, n_rows) < 0.15).astype(np.int64)
+
+    attributes: list[Attribute] = []
+    columns: dict[str, np.ndarray] = {}
+    for i in range(n_cont):
+        name = f"m_{i + 1:03d}"
+        shift = 0.8 if i < 5 else 0.0
+        values = rng.normal(0, 1, n_rows) + shift * group
+        attributes.append(Attribute.continuous(name))
+        columns[name] = values
+    for i in range(n_cat):
+        name = f"e_{i + 1:03d}"
+        levels = 4
+        cats = tuple(f"v{j}" for j in range(levels))
+        base = rng.integers(0, levels, n_rows)
+        if i < 3:
+            skew = rng.uniform(0, 1, n_rows) < 0.3
+            base = np.where((group == 1) & skew, 0, base)
+        attributes.append(Attribute.categorical(name, cats))
+        columns[name] = base.astype(np.int64)
+    return Dataset(
+        Schema.of(attributes), columns, group, ("pass", "fail")
+    )

@@ -1,0 +1,135 @@
+"""Sampling utilities for large datasets (paper Section 6).
+
+The manufacturing case study "took a sample of the entire population and
+compared it with parts that failed a particular test" — the standard
+recipe when the healthy population dwarfs the anomaly group.  These
+helpers implement that recipe plus plain stratified subsampling for
+bringing cluster-scale data down to workstation scale while preserving
+group ratios (the convention all scaled benches follow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Dataset, DatasetError
+
+__all__ = [
+    "stratified_sample",
+    "population_vs_group",
+    "train_holdout_split",
+]
+
+
+def stratified_sample(
+    dataset: Dataset,
+    fraction: float | None = None,
+    n_rows: int | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Random subsample preserving per-group proportions.
+
+    Exactly one of ``fraction`` and ``n_rows`` must be given.  Every group
+    retains at least one row (when it had any).
+    """
+    if (fraction is None) == (n_rows is None):
+        raise ValueError("give exactly one of fraction or n_rows")
+    if fraction is not None:
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+    else:
+        if n_rows < 1 or n_rows > dataset.n_rows:
+            raise ValueError("n_rows out of range")
+        fraction = n_rows / dataset.n_rows
+
+    rng = np.random.default_rng(seed)
+    codes = np.asarray(dataset.group_codes)
+    keep = np.zeros(dataset.n_rows, dtype=bool)
+    for g in range(dataset.n_groups):
+        indices = np.nonzero(codes == g)[0]
+        if indices.size == 0:
+            continue
+        take = max(1, int(round(indices.size * fraction)))
+        chosen = rng.choice(indices, size=min(take, indices.size),
+                            replace=False)
+        keep[chosen] = True
+    return dataset.restrict(keep)
+
+
+def population_vs_group(
+    dataset: Dataset,
+    anomaly_group: str,
+    sample_ratio: float = 5.0,
+    seed: int = 0,
+    labels: tuple[str, str] = ("Population", "Anomaly"),
+) -> Dataset:
+    """Build the Section 6 comparison: a random *population sample*
+    (drawn from every group) vs the full anomaly group.
+
+    Parameters
+    ----------
+    anomaly_group:
+        Label of the group of interest (e.g. the parts failing one test).
+    sample_ratio:
+        Population sample size as a multiple of the anomaly group's size
+        (capped at the available rows).
+    labels:
+        Output group labels.
+    """
+    if labels[0] == labels[1]:
+        raise DatasetError("output labels must differ")
+    anomaly_index = dataset.group_index(anomaly_group)
+    codes = np.asarray(dataset.group_codes)
+    anomaly_rows = np.nonzero(codes == anomaly_index)[0]
+    if anomaly_rows.size == 0:
+        raise DatasetError(f"group {anomaly_group!r} is empty")
+
+    rng = np.random.default_rng(seed)
+    want = int(round(anomaly_rows.size * sample_ratio))
+    pool = np.arange(dataset.n_rows)
+    sample = rng.choice(
+        pool, size=min(want, pool.size), replace=False
+    )
+
+    keep = np.zeros(dataset.n_rows, dtype=bool)
+    keep[sample] = True
+    keep[anomaly_rows] = True
+    restricted = dataset.restrict(keep)
+
+    # relabel: anomaly rows -> group 1, sampled others -> group 0
+    new_codes = np.where(
+        np.asarray(restricted.group_codes) == anomaly_index, 1, 0
+    ).astype(np.int64)
+    return Dataset(
+        restricted.schema,
+        {
+            name: restricted.column(name)
+            for name in restricted.schema.names
+        },
+        new_codes,
+        labels,
+        dataset.group_name,
+    )
+
+
+def train_holdout_split(
+    dataset: Dataset, holdout_fraction: float = 0.3, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Stratified train/holdout split.
+
+    Patterns are mined on the train part and *validated* on the holdout —
+    the standard guard against the spurious-discovery risk the paper's
+    statistical machinery addresses analytically.
+    """
+    if not 0 < holdout_fraction < 1:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    codes = np.asarray(dataset.group_codes)
+    holdout = np.zeros(dataset.n_rows, dtype=bool)
+    for g in range(dataset.n_groups):
+        indices = np.nonzero(codes == g)[0]
+        take = int(round(indices.size * holdout_fraction))
+        if indices.size and take:
+            chosen = rng.choice(indices, size=take, replace=False)
+            holdout[chosen] = True
+    return dataset.restrict(~holdout), dataset.restrict(holdout)

@@ -1,0 +1,190 @@
+"""Schema description for mixed (categorical + continuous) tabular data.
+
+The paper operates on datasets ``DB`` with ``m`` rows and ``n`` attributes,
+where each attribute is either *categorical* (finite value domain) or
+*continuous* (real-valued), plus one extra *group* attribute assigning each
+row to exactly one group (Section 3 of the paper).
+
+This module defines the lightweight, immutable schema objects used by
+:class:`repro.dataset.table.Dataset`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["AttributeKind", "Attribute", "Schema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is internally inconsistent or misused."""
+
+
+class AttributeKind(enum.Enum):
+    """Kind of an attribute: categorical or continuous.
+
+    The group column is modeled as a categorical attribute that is held
+    separately by the :class:`~repro.dataset.table.Dataset`, not as a kind.
+    """
+
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+    @property
+    def is_continuous(self) -> bool:
+        return self is AttributeKind.CONTINUOUS
+
+    @property
+    def is_categorical(self) -> bool:
+        return self is AttributeKind.CATEGORICAL
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a dataset.
+
+    Parameters
+    ----------
+    name:
+        Unique column name.
+    kind:
+        Whether the column holds categorical codes or real numbers.
+    categories:
+        For categorical attributes, the ordered tuple of category labels.
+        Values in the column are integer codes indexing this tuple.
+        Empty for continuous attributes.
+    """
+
+    name: str
+    kind: AttributeKind
+    categories: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.kind.is_categorical:
+            if len(self.categories) == 0:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} needs categories"
+                )
+            if len(set(self.categories)) != len(self.categories):
+                raise SchemaError(
+                    f"attribute {self.name!r} has duplicate categories"
+                )
+        elif self.categories:
+            raise SchemaError(
+                f"continuous attribute {self.name!r} cannot have categories"
+            )
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.kind.is_continuous
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind.is_categorical
+
+    @property
+    def cardinality(self) -> int:
+        """Number of category labels (0 for continuous attributes)."""
+        return len(self.categories)
+
+    def code_of(self, label: str) -> int:
+        """Return the integer code of a category label.
+
+        Raises :class:`SchemaError` for continuous attributes or unknown
+        labels.
+        """
+        if self.is_continuous:
+            raise SchemaError(f"{self.name!r} is continuous; no categories")
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"unknown category {label!r} for attribute {self.name!r}"
+            ) from None
+
+    def label_of(self, code: int) -> str:
+        """Return the category label for an integer code."""
+        if self.is_continuous:
+            raise SchemaError(f"{self.name!r} is continuous; no categories")
+        if not 0 <= code < len(self.categories):
+            raise SchemaError(
+                f"code {code} out of range for attribute {self.name!r}"
+            )
+        return self.categories[code]
+
+    @staticmethod
+    def categorical(name: str, categories: Sequence[str]) -> "Attribute":
+        """Convenience constructor for a categorical attribute."""
+        return Attribute(name, AttributeKind.CATEGORICAL, tuple(categories))
+
+    @staticmethod
+    def continuous(name: str) -> "Attribute":
+        """Convenience constructor for a continuous attribute."""
+        return Attribute(name, AttributeKind.CONTINUOUS)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of :class:`Attribute` objects with name lookup."""
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+
+    @staticmethod
+    def of(attributes: Iterable[Attribute]) -> "Schema":
+        return Schema(tuple(attributes))
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(name)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def continuous_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes if a.is_continuous)
+
+    @property
+    def categorical_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes if a.is_categorical)
+
+    def index_of(self, name: str) -> int:
+        """Position of an attribute in the schema order."""
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise KeyError(name)
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to the given names, preserving schema order."""
+        wanted = set(names)
+        missing = wanted - set(self.names)
+        if missing:
+            raise KeyError(f"unknown attributes: {sorted(missing)}")
+        return Schema(tuple(a for a in self.attributes if a.name in wanted))
+
+    def with_attribute(self, attribute: Attribute) -> "Schema":
+        """Return a new schema with one more attribute appended."""
+        return Schema(self.attributes + (attribute,))

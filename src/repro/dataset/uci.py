@@ -1,0 +1,657 @@
+"""Synthetic stand-ins for the UCI datasets of Table 2.
+
+The evaluation machines cannot download the UCI repository (offline
+substrate), so each generator below produces a dataset with the *same*
+group labels, group-size ratio, and feature counts as Table 2 of the paper,
+and with planted group-dependent structure that mirrors what the paper
+reports finding on the real data (see DESIGN.md, substitution #1):
+
+* **Adult** reproduces the Figure 4 / Table 1 story: Doctorates are older,
+  work longer hours (with an age x hours interaction), are predominantly
+  Prof-specialty, more often male, and more often earn >50K (Table 3).
+* **Shuttle** plants the near-pure level-1 contrasts the paper quotes
+  (``Attr_1 <= 54`` with probabilities 0.91 vs 0.01; ``Attr_9 <= 2`` with
+  0.77 vs 0) that make unpruned averages look strong.
+* The remaining datasets carry strong (Breast, Ionosphere), moderate
+  (Spambase, Mammography, Census, Covtype), or weak (Adult, Transfusion,
+  Credit Card) signals so the Table 4 magnitudes line up by band.
+
+Every generator is deterministic given its seed.  Datasets whose real
+counterparts exceed ~50k rows accept a ``scale`` factor and default to a
+laptop-friendly fraction; pass ``scale=1.0`` to regenerate full Table 2
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .schema import Attribute, Schema
+from .table import Dataset
+
+__all__ = [
+    "adult",
+    "spambase",
+    "breast_cancer",
+    "mammography",
+    "transfusion",
+    "shuttle",
+    "credit_card",
+    "census_income",
+    "ionosphere",
+    "covtype",
+    "DATASET_REGISTRY",
+    "load",
+    "TABLE2_SHAPES",
+]
+
+
+# (group labels), (rows per group at scale=1), n features, n continuous
+TABLE2_SHAPES: dict[str, tuple[tuple[str, str], tuple[int, int], int, int]] = {
+    "adult": (("Bachelors", "Doctorate"), (8025, 594), 13, 5),
+    "spambase": (("Spam", "No Spam"), (1813, 2788), 57, 57),
+    "breast_cancer": (("Benign", "Malignant"), (458, 241), 10, 10),
+    "mammography": (("Severe", "Not Severe"), (445, 516), 5, 5),
+    "transfusion": (("Donated", "Not Donated"), (570, 178), 4, 4),
+    "shuttle": (("Rad Flow", "High"), (45586, 8903), 9, 9),
+    "credit_card": (("No", "Yes"), (23363, 6635), 24, 23),
+    "census_income": (("Below 50K", "Above 50K"), (187141, 12382), 39, 11),
+    "ionosphere": (("g", "b"), (225, 126), 34, 34),
+    "covtype": (("Spruce-Fir", "Lodgepole Pine"), (211840, 283301), 54, 10),
+}
+
+
+def _sizes(name: str, scale: float) -> tuple[int, int]:
+    (_, (n0, n1), _, _) = TABLE2_SHAPES[name]
+    return max(20, int(round(n0 * scale))), max(20, int(round(n1 * scale)))
+
+
+def _assemble(
+    name: str,
+    scale: float,
+    continuous: dict[str, tuple[np.ndarray, np.ndarray]],
+    categorical: dict[
+        str, tuple[Sequence[str], np.ndarray, np.ndarray]
+    ] = {},
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Stack per-group columns into a shuffled Dataset.
+
+    ``continuous[name] = (values_group0, values_group1)``;
+    ``categorical[name] = (categories, codes_group0, codes_group1)``.
+    """
+    labels, _, _, _ = TABLE2_SHAPES[name]
+    rng = rng or np.random.default_rng(0)
+    n0 = len(next(iter(continuous.values()))[0]) if continuous else len(
+        next(iter(categorical.values()))[1]
+    )
+    n1 = len(next(iter(continuous.values()))[1]) if continuous else len(
+        next(iter(categorical.values()))[2]
+    )
+    order = rng.permutation(n0 + n1)
+    groups = np.concatenate(
+        [np.zeros(n0, dtype=np.int64), np.ones(n1, dtype=np.int64)]
+    )[order]
+
+    attributes: list[Attribute] = []
+    columns: dict[str, np.ndarray] = {}
+    for col_name, (g0, g1) in continuous.items():
+        attributes.append(Attribute.continuous(col_name))
+        columns[col_name] = np.concatenate([g0, g1])[order]
+    for col_name, (categories, g0, g1) in categorical.items():
+        attributes.append(Attribute.categorical(col_name, categories))
+        columns[col_name] = np.concatenate([g0, g1]).astype(np.int64)[order]
+    return Dataset(Schema.of(attributes), columns, groups, labels)
+
+
+def _choice(
+    rng: np.random.Generator, n: int, probs: Sequence[float]
+) -> np.ndarray:
+    probs = np.asarray(probs, dtype=float)
+    probs = probs / probs.sum()
+    return rng.choice(len(probs), size=n, p=probs)
+
+
+# ---------------------------------------------------------------------------
+# Adult — the paper's main qualitative case study (Tables 1, 3; Figure 4)
+# ---------------------------------------------------------------------------
+
+def adult(scale: float = 1.0, seed: int = 101) -> Dataset:
+    """Adult census stand-in: Bachelors (8025) vs Doctorate (594).
+
+    13 features, 5 continuous.  Planted structure (matching the paper's
+    findings on the real Adult data):
+
+    * ``age``: Bachelors concentrated 19-45 (many under 26); Doctorates
+      28-75 with almost nobody under 27 (Figure 4a).
+    * ``hours-per-week``: Bachelors centred on 40 with a large <=40 mass;
+      Doctorates often 50-99 (Figure 4b).
+    * Interaction: Doctorates aged ~49-69 work the longest hours — the
+      joint bin the paper highlights as Table 1 contrast #5.
+    * ``occupation = Prof-specialty``: 0.76 vs 0.28 (Table 3 anchor);
+      ``sex = Male``: 0.81 vs 0.69; ``class = >50K``: 0.73 vs 0.41.
+      ``fnlwgt``, ``education-num``, ``capital-gain`` behave as in the
+      real data (noise, constant-ish, zero-inflated).
+    """
+    rng = np.random.default_rng(seed)
+    n_b, n_d = _sizes("adult", scale)
+
+    # --- age (Figure 4a): tuned so supp(Bach, 19-26) ~ 0.16 and
+    # supp(Bach, 47-90) ~ 0.22, the Table 1 anchor values ------------------
+    age_b = np.clip(rng.gamma(2.6, 8.2, n_b) + 17, 18, 90)
+    age_d = np.clip(rng.normal(48, 12, n_d), 27, 90)
+
+    # --- hours-per-week (Figure 4b), with the age interaction ------------
+    hours_b = np.clip(rng.normal(39, 9, n_b), 1, 99)
+    base_d = np.clip(rng.normal(47, 12, n_d), 1, 99)
+    prime = (age_d > 47) & (age_d <= 69)
+    hours_d = np.where(
+        prime & (rng.uniform(0, 1, n_d) < 0.55),
+        np.clip(rng.normal(60, 9, n_d), 50, 99),
+        base_d,
+    )
+
+    # --- other continuous -------------------------------------------------
+    fnlwgt_b = rng.lognormal(12.0, 0.45, n_b)
+    fnlwgt_d = rng.lognormal(12.0, 0.45, n_d)
+    # capital-loss: zero-inflated, mildly group-dependent (the paper's
+    # feature set drops education/education-num, whose values define the
+    # groups, and keeps capital-loss as the fifth continuous attribute)
+    loss_b = np.where(
+        rng.uniform(0, 1, n_b) < 0.045, rng.lognormal(7.5, 0.4, n_b), 0.0
+    )
+    loss_d = np.where(
+        rng.uniform(0, 1, n_d) < 0.09, rng.lognormal(7.6, 0.4, n_d), 0.0
+    )
+    gain_b = np.where(
+        rng.uniform(0, 1, n_b) < 0.08, rng.lognormal(8.5, 1.0, n_b), 0.0
+    )
+    gain_d = np.where(
+        rng.uniform(0, 1, n_d) < 0.18, rng.lognormal(9.0, 1.0, n_d), 0.0
+    )
+
+    # --- categoricals ------------------------------------------------------
+    occupations = (
+        "Prof-specialty",
+        "Exec-managerial",
+        "Sales",
+        "Adm-clerical",
+        "Tech-support",
+        "Other-service",
+    )
+    occ_b = _choice(rng, n_b, [0.28, 0.24, 0.18, 0.12, 0.10, 0.08])
+    occ_d = _choice(rng, n_d, [0.76, 0.10, 0.04, 0.03, 0.05, 0.02])
+    sex_b = _choice(rng, n_b, [0.31, 0.69])  # Female, Male
+    sex_d = _choice(rng, n_d, [0.19, 0.81])
+    klass_b = _choice(rng, n_b, [0.59, 0.41])  # <=50K, >50K
+    klass_d = _choice(rng, n_d, [0.27, 0.73])
+    marital = ("Married", "Never-married", "Divorced")
+    mar_b = _choice(rng, n_b, [0.52, 0.33, 0.15])
+    mar_d = _choice(rng, n_d, [0.68, 0.20, 0.12])
+    race = ("White", "Black", "Asian-Pac", "Other")
+    race_b = _choice(rng, n_b, [0.85, 0.09, 0.04, 0.02])
+    race_d = _choice(rng, n_d, [0.82, 0.06, 0.10, 0.02])
+    workclass = ("Private", "Gov", "Self-emp")
+    wc_b = _choice(rng, n_b, [0.74, 0.14, 0.12])
+    wc_d = _choice(rng, n_d, [0.45, 0.35, 0.20])
+    relationship = ("Husband", "Wife", "Not-in-family", "Own-child")
+    rel_b = _choice(rng, n_b, [0.42, 0.11, 0.33, 0.14])
+    rel_d = _choice(rng, n_d, [0.55, 0.13, 0.28, 0.04])
+    country = ("United-States", "Other")
+    cty_b = _choice(rng, n_b, [0.91, 0.09])
+    cty_d = _choice(rng, n_d, [0.86, 0.14])
+
+    return _assemble(
+        "adult",
+        scale,
+        continuous={
+            "age": (age_b, age_d),
+            "fnlwgt": (fnlwgt_b, fnlwgt_d),
+            "capital-loss": (loss_b, loss_d),
+            "capital-gain": (gain_b, gain_d),
+            "hours-per-week": (hours_b, hours_d),
+        },
+        categorical={
+            "occupation": (occupations, occ_b, occ_d),
+            "sex": (("Female", "Male"), sex_b, sex_d),
+            "class": (("<=50K", ">50K"), klass_b, klass_d),
+            "marital-status": (marital, mar_b, mar_d),
+            "race": (race, race_b, race_d),
+            "workclass": (workclass, wc_b, wc_d),
+            "relationship": (relationship, rel_b, rel_d),
+            "native-country": (country, cty_b, cty_d),
+        },
+        rng=rng,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The remaining nine stand-ins
+# ---------------------------------------------------------------------------
+
+def _shifted_block(
+    rng: np.random.Generator,
+    n0: int,
+    n1: int,
+    n_features: int,
+    prefix: str,
+    n_informative: int,
+    shift: float,
+    scale0: float = 1.0,
+    scale1: float = 1.0,
+    start: int = 1,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """A block of continuous features; the first ``n_informative`` are
+    mean-shifted by ``shift`` (alternating sign) in group 1."""
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for i in range(n_features):
+        name = f"{prefix}{start + i}"
+        sign = 1.0 if i % 2 == 0 else -1.0
+        delta = shift * sign if i < n_informative else 0.0
+        out[name] = (
+            rng.normal(0.0, scale0, n0),
+            rng.normal(delta, scale1, n1),
+        )
+    return out
+
+
+def spambase(scale: float = 1.0, seed: int = 102) -> Dataset:
+    """Spambase stand-in: 57 continuous word/char frequency features.
+
+    A handful of "spam words" have strongly elevated, zero-inflated
+    frequencies in the Spam group (real word-frequency columns are mostly
+    zero); most columns are noise.  Signal strength tuned to the paper's
+    strong-but-not-perfect band (mean top-k diff ~0.6).
+    """
+    rng = np.random.default_rng(seed)
+    n_s, n_n = _sizes("spambase", scale)
+    continuous: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def freq(n, p_nonzero, mean):
+        nonzero = rng.uniform(0, 1, n) < p_nonzero
+        return np.where(nonzero, rng.exponential(mean, n), 0.0)
+
+    informative = [
+        ("word_freq_free", 0.70, 0.9, 0.10, 0.2),
+        ("word_freq_money", 0.62, 0.8, 0.08, 0.15),
+        ("word_freq_credit", 0.55, 0.7, 0.06, 0.1),
+        ("word_freq_000", 0.50, 0.6, 0.05, 0.1),
+        ("char_freq_dollar", 0.66, 0.5, 0.12, 0.1),
+        ("char_freq_bang", 0.72, 1.1, 0.22, 0.3),
+        ("capital_run_length_avg", 0.95, 6.0, 0.80, 2.0),
+        ("capital_run_length_max", 0.95, 60.0, 0.80, 15.0),
+    ]
+    for name, p_s, m_s, p_n, m_n in informative:
+        continuous[name] = (freq(n_s, p_s, m_s), freq(n_n, p_n, m_n))
+    for i in range(57 - len(informative)):
+        name = f"word_freq_w{i + 1}"
+        p = float(rng.uniform(0.05, 0.4))
+        m = float(rng.uniform(0.1, 0.6))
+        continuous[name] = (freq(n_s, p, m), freq(n_n, p, m))
+    return _assemble("spambase", scale, continuous, rng=rng)
+
+
+def breast_cancer(scale: float = 1.0, seed: int = 103) -> Dataset:
+    """Breast Cancer (Wisconsin) stand-in: 10 cytology scores in [1, 10].
+
+    Benign cases score low on every feature; malignant cases high on most
+    — the near-separable structure behind the paper's 0.86 mean diff.
+    """
+    rng = np.random.default_rng(seed)
+    n_b, n_m = _sizes("breast_cancer", scale)
+    names = [
+        "clump_thickness",
+        "cell_size_uniformity",
+        "cell_shape_uniformity",
+        "marginal_adhesion",
+        "epithelial_cell_size",
+        "bare_nuclei",
+        "bland_chromatin",
+        "normal_nucleoli",
+        "mitoses",
+        "cell_density",
+    ]
+    continuous = {}
+    for i, name in enumerate(names):
+        strong = i < 7
+        lo = np.clip(rng.gamma(1.6, 0.9, n_b) + 1, 1, 10)
+        hi_shape = 6.6 if strong else 3.5
+        hi = np.clip(rng.normal(hi_shape, 2.0, n_m), 1, 10)
+        continuous[name] = (np.round(lo), np.round(hi))
+    return _assemble("breast_cancer", scale, continuous, rng=rng)
+
+
+def mammography(scale: float = 1.0, seed: int = 104) -> Dataset:
+    """Mammographic masses stand-in: 5 continuous features, moderate
+    separation (BI-RADS-like score, age, shape, margin, density)."""
+    rng = np.random.default_rng(seed)
+    n_s, n_n = _sizes("mammography", scale)
+    continuous = {
+        "birads": (
+            np.clip(np.round(rng.normal(4.6, 0.7, n_s)), 1, 6),
+            np.clip(np.round(rng.normal(3.9, 0.7, n_n)), 1, 6),
+        ),
+        "age": (
+            np.clip(rng.normal(62, 13, n_s), 20, 95),
+            np.clip(rng.normal(52, 14, n_n), 18, 95),
+        ),
+        "shape": (
+            np.clip(np.round(rng.normal(3.3, 0.9, n_s)), 1, 4),
+            np.clip(np.round(rng.normal(2.1, 1.0, n_n)), 1, 4),
+        ),
+        "margin": (
+            np.clip(np.round(rng.normal(3.8, 1.1, n_s)), 1, 5),
+            np.clip(np.round(rng.normal(2.2, 1.2, n_n)), 1, 5),
+        ),
+        "density": (
+            np.clip(np.round(rng.normal(2.9, 0.5, n_s)), 1, 4),
+            np.clip(np.round(rng.normal(2.8, 0.5, n_n)), 1, 4),
+        ),
+    }
+    return _assemble("mammography", scale, continuous, rng=rng)
+
+
+def transfusion(scale: float = 1.0, seed: int = 105) -> Dataset:
+    """Blood transfusion stand-in: 4 continuous RFM-T features with the
+    weak signal band of the paper (mean diff ~0.34)."""
+    rng = np.random.default_rng(seed)
+    n_d, n_n = _sizes("transfusion", scale)
+    freq_d = np.clip(rng.gamma(2.4, 2.6, n_d), 1, 50)
+    freq_n = np.clip(rng.gamma(1.5, 2.2, n_n), 1, 50)
+    continuous = {
+        "recency_months": (
+            np.clip(rng.gamma(1.7, 3.4, n_d), 0, 74),
+            np.clip(rng.gamma(2.8, 4.6, n_n), 0, 74),
+        ),
+        "frequency_times": (freq_d, freq_n),
+        "monetary_blood": (freq_d * 250.0, freq_n * 250.0),
+        "time_months": (
+            np.clip(rng.gamma(3.2, 11.0, n_d), 2, 98),
+            np.clip(rng.gamma(2.6, 11.0, n_n), 2, 98),
+        ),
+    }
+    return _assemble("transfusion", scale, continuous, rng=rng)
+
+
+def shuttle(scale: float = 0.1, seed: int = 106) -> Dataset:
+    """Statlog Shuttle stand-in (default 10% of the 54k rows).
+
+    Plants the paper's quoted near-pure level-1 contrasts:
+    ``Attr_1 <= 54`` holds for ~91% of "Rad Flow" vs ~1% of "High", and
+    ``Attr_9 <= 2`` for ~77% vs ~0%.
+    """
+    rng = np.random.default_rng(seed)
+    n_r, n_h = _sizes("shuttle", scale)
+
+    low1 = rng.uniform(0, 1, n_r) < 0.91
+    attr1_r = np.where(low1, rng.uniform(27, 54, n_r), rng.uniform(55, 126, n_r))
+    high1 = rng.uniform(0, 1, n_h) < 0.99
+    attr1_h = np.where(high1, rng.uniform(55, 126, n_h), rng.uniform(27, 54, n_h))
+
+    low9 = rng.uniform(0, 1, n_r) < 0.77
+    attr9_r = np.where(low9, rng.uniform(0, 2, n_r), rng.uniform(3, 80, n_r))
+    attr9_h = rng.uniform(3, 80, n_h)
+
+    continuous = {
+        "Attr_1": (attr1_r, attr1_h),
+        "Attr_9": (attr9_r, attr9_h),
+    }
+    continuous.update(
+        _shifted_block(
+            rng, n_r, n_h, 7, "Attr_", n_informative=3, shift=1.2, start=2
+        )
+    )
+    return _assemble("shuttle", scale, continuous, rng=rng)
+
+
+def credit_card(scale: float = 0.2, seed: int = 107) -> Dataset:
+    """Default-of-credit-card-clients stand-in: 23 continuous + 1
+    categorical feature, weak overlapping signals (mean diff ~0.26)."""
+    rng = np.random.default_rng(seed)
+    n_no, n_yes = _sizes("credit_card", scale)
+    continuous: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "limit_bal": (
+            rng.lognormal(11.9, 0.8, n_no),
+            rng.lognormal(11.5, 0.8, n_yes),
+        ),
+        "age": (
+            np.clip(rng.normal(35, 9, n_no), 21, 75),
+            np.clip(rng.normal(36, 9.5, n_yes), 21, 75),
+        ),
+    }
+    for month in range(1, 7):
+        # repayment status: defaulters skew into delay (positive values)
+        continuous[f"pay_{month}"] = (
+            np.round(np.clip(rng.normal(-0.3, 1.0, n_no), -2, 8)),
+            np.round(np.clip(rng.normal(0.9, 1.4, n_yes), -2, 8)),
+        )
+    for month in range(1, 7):
+        continuous[f"bill_amt{month}"] = (
+            rng.lognormal(9.9, 1.3, n_no),
+            rng.lognormal(10.1, 1.3, n_yes),
+        )
+    for month in range(1, 7):
+        continuous[f"pay_amt{month}"] = (
+            rng.lognormal(8.4, 1.2, n_no),
+            rng.lognormal(7.8, 1.3, n_yes),
+        )
+    continuous["utilisation"] = (
+        np.clip(rng.beta(2.0, 4.0, n_no), 0, 1),
+        np.clip(rng.beta(3.2, 2.4, n_yes), 0, 1),
+    )
+    continuous["months_as_customer"] = (
+        np.clip(rng.gamma(2.4, 18, n_no), 1, 240),
+        np.clip(rng.gamma(2.2, 16, n_yes), 1, 240),
+    )
+    continuous["num_cards"] = (
+        np.clip(np.round(rng.gamma(2.0, 1.2, n_no)), 1, 12),
+        np.clip(np.round(rng.gamma(2.2, 1.3, n_yes)), 1, 12),
+    )
+    categorical = {
+        "sex": (
+            ("male", "female"),
+            _choice(rng, n_no, [0.39, 0.61]),
+            _choice(rng, n_yes, [0.43, 0.57]),
+        )
+    }
+    return _assemble("credit_card", scale, continuous, categorical, rng=rng)
+
+
+def census_income(scale: float = 0.05, seed: int = 108) -> Dataset:
+    """Census-Income (KDD) stand-in: 39 features, 11 continuous, strongly
+    imbalanced groups (default 5% of the ~200k rows)."""
+    rng = np.random.default_rng(seed)
+    n_lo, n_hi = _sizes("census_income", scale)
+    continuous = {
+        "age": (
+            np.clip(rng.gamma(2.6, 13.0, n_lo), 16, 90),
+            np.clip(rng.normal(46, 11, n_hi), 22, 90),
+        ),
+        "wage_per_hour": (
+            np.where(
+                rng.uniform(0, 1, n_lo) < 0.25,
+                rng.lognormal(6.2, 0.6, n_lo),
+                0.0,
+            ),
+            np.where(
+                rng.uniform(0, 1, n_hi) < 0.45,
+                rng.lognormal(6.9, 0.6, n_hi),
+                0.0,
+            ),
+        ),
+        "capital_gains": (
+            np.where(
+                rng.uniform(0, 1, n_lo) < 0.03,
+                rng.lognormal(8.2, 1.1, n_lo),
+                0.0,
+            ),
+            np.where(
+                rng.uniform(0, 1, n_hi) < 0.32,
+                rng.lognormal(9.4, 1.0, n_hi),
+                0.0,
+            ),
+        ),
+        "weeks_worked": (
+            np.clip(rng.normal(30, 22, n_lo), 0, 52),
+            np.clip(rng.normal(50, 6, n_hi), 0, 52),
+        ),
+    }
+    continuous.update(
+        _shifted_block(
+            rng, n_lo, n_hi, 7, "num_", n_informative=3, shift=0.9
+        )
+    )
+    categorical: dict[str, tuple[Sequence[str], np.ndarray, np.ndarray]] = {}
+    # 28 categorical features; a few informative, the rest background
+    categorical["education"] = (
+        ("HS", "College", "Bachelors", "Advanced"),
+        _choice(rng, n_lo, [0.45, 0.30, 0.18, 0.07]),
+        _choice(rng, n_hi, [0.12, 0.18, 0.36, 0.34]),
+    )
+    categorical["full_time"] = (
+        ("yes", "no"),
+        _choice(rng, n_lo, [0.52, 0.48]),
+        _choice(rng, n_hi, [0.91, 0.09]),
+    )
+    categorical["sex"] = (
+        ("Female", "Male"),
+        _choice(rng, n_lo, [0.52, 0.48]),
+        _choice(rng, n_hi, [0.23, 0.77]),
+    )
+    for i in range(25):
+        cats = tuple(f"v{j}" for j in range(3))
+        probs = rng.dirichlet(np.ones(3))
+        categorical[f"cat_{i + 1}"] = (
+            cats,
+            _choice(rng, n_lo, probs),
+            _choice(rng, n_hi, probs),
+        )
+    return _assemble("census_income", scale, continuous, categorical, rng=rng)
+
+
+def ionosphere(scale: float = 1.0, seed: int = 109) -> Dataset:
+    """Ionosphere stand-in: 34 continuous radar returns in [-1, 1].
+
+    Good returns are coherent — high values on many pulses, with strong
+    cross-pulse correlation; bad returns are incoherent, so consecutive
+    pulse *pairs* lose their correlation structure (a local multivariate
+    interaction that global per-attribute discretizers cannot express).
+    Strong signal overall (paper band: mean diff ~0.76).
+    """
+    rng = np.random.default_rng(seed)
+    n_g, n_b = _sizes("ionosphere", scale)
+    continuous = {}
+    for i in range(0, 8, 2):
+        # coherent pairs: good pulses move together, bad anti-correlate
+        u_g = rng.uniform(-0.75, 0.75, n_g)
+        u_b = rng.uniform(-0.75, 0.75, n_b)
+        continuous[f"pulse_{i + 1}"] = (
+            np.clip(u_g + rng.normal(0, 0.12, n_g), -1, 1),
+            np.clip(u_b + rng.normal(0, 0.12, n_b), -1, 1),
+        )
+        continuous[f"pulse_{i + 2}"] = (
+            np.clip(u_g + rng.normal(0, 0.12, n_g), -1, 1),
+            np.clip(-u_b + rng.normal(0, 0.12, n_b), -1, 1),
+        )
+    for i in range(8, 14):
+        # coherence-amplitude pulses: good strong, bad noisy around zero
+        g = np.clip(rng.normal(0.72, 0.22, n_g), -1, 1)
+        b = np.clip(rng.normal(0.05, 0.50, n_b), -1, 1)
+        continuous[f"pulse_{i + 1}"] = (g, b)
+    for i in range(14, 34):
+        g = np.clip(rng.normal(0.2, 0.5, n_g), -1, 1)
+        b = np.clip(rng.normal(0.1, 0.6, n_b), -1, 1)
+        continuous[f"pulse_{i + 1}"] = (g, b)
+    return _assemble("ionosphere", scale, continuous, rng=rng)
+
+
+def covtype(scale: float = 0.02, seed: int = 110) -> Dataset:
+    """Covertype stand-in (Spruce-Fir vs Lodgepole Pine): 10 continuous
+    terrain features + 44 binary indicator columns, moderate signals
+    (default 2% of the ~500k rows)."""
+    rng = np.random.default_rng(seed)
+    n_s, n_l = _sizes("covtype", scale)
+    continuous = {
+        "elevation": (
+            rng.normal(3120, 160, n_s),
+            rng.normal(2930, 180, n_l),
+        ),
+        "aspect": (rng.uniform(0, 360, n_s), rng.uniform(0, 360, n_l)),
+        "slope": (
+            np.clip(rng.gamma(3.2, 4.0, n_s), 0, 60),
+            np.clip(rng.gamma(3.4, 4.4, n_l), 0, 60),
+        ),
+        "horiz_dist_hydrology": (
+            np.clip(rng.gamma(1.6, 170, n_s), 0, 1400),
+            np.clip(rng.gamma(1.8, 150, n_l), 0, 1400),
+        ),
+        "vert_dist_hydrology": (
+            rng.normal(45, 60, n_s),
+            rng.normal(50, 62, n_l),
+        ),
+        "horiz_dist_roadways": (
+            np.clip(rng.gamma(2.2, 1100, n_s), 0, 7000),
+            np.clip(rng.gamma(2.0, 900, n_l), 0, 7000),
+        ),
+        "hillshade_9am": (
+            np.clip(rng.normal(212, 26, n_s), 0, 254),
+            np.clip(rng.normal(220, 24, n_l), 0, 254),
+        ),
+        "hillshade_noon": (
+            np.clip(rng.normal(223, 19, n_s), 0, 254),
+            np.clip(rng.normal(225, 19, n_l), 0, 254),
+        ),
+        "hillshade_3pm": (
+            np.clip(rng.normal(142, 36, n_s), 0, 254),
+            np.clip(rng.normal(135, 38, n_l), 0, 254),
+        ),
+        "horiz_dist_fire": (
+            np.clip(rng.gamma(2.4, 900, n_s), 0, 7000),
+            np.clip(rng.gamma(2.2, 820, n_l), 0, 7000),
+        ),
+    }
+    categorical: dict[str, tuple[Sequence[str], np.ndarray, np.ndarray]] = {}
+    # wilderness areas: Spruce-Fir favours area 1
+    categorical["wilderness"] = (
+        ("area1", "area2", "area3", "area4"),
+        _choice(rng, n_s, [0.62, 0.05, 0.30, 0.03]),
+        _choice(rng, n_l, [0.40, 0.08, 0.44, 0.08]),
+    )
+    for i in range(43):
+        p_s = float(np.clip(rng.beta(1.2, 12), 0.002, 0.6))
+        tilt = float(rng.uniform(0.5, 2.0)) if i < 6 else 1.0
+        p_l = float(np.clip(p_s * tilt, 0.001, 0.8))
+        categorical[f"soil_{i + 1}"] = (
+            ("0", "1"),
+            _choice(rng, n_s, [1 - p_s, p_s]),
+            _choice(rng, n_l, [1 - p_l, p_l]),
+        )
+    return _assemble("covtype", scale, continuous, categorical, rng=rng)
+
+
+DATASET_REGISTRY: dict[str, Callable[..., Dataset]] = {
+    "adult": adult,
+    "spambase": spambase,
+    "breast_cancer": breast_cancer,
+    "mammography": mammography,
+    "transfusion": transfusion,
+    "shuttle": shuttle,
+    "credit_card": credit_card,
+    "census_income": census_income,
+    "ionosphere": ionosphere,
+    "covtype": covtype,
+}
+
+
+def load(name: str, **kwargs) -> Dataset:
+    """Load a UCI stand-in by registry name."""
+    try:
+        maker = DATASET_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
+        ) from None
+    return maker(**kwargs)

@@ -1,0 +1,5 @@
+"""Level-parallel mining on a process pool (Section 6 scaling strategy)."""
+
+from .scheduler import ParallelMiningResult, mine_level_tasks, mine_parallel
+
+__all__ = ["ParallelMiningResult", "mine_level_tasks", "mine_parallel"]

@@ -1,0 +1,245 @@
+"""Level-parallel mining (paper Section 6, scaling discussion).
+
+The paper's strategy for data that exceeds one machine: *"find contrast
+patterns at each level of the tree in parallel and then use those results
+to prune the next level of the tree"*.  Each attribute combination at a
+level is an independent task (SDAD-CS calls share nothing but the live
+top-k threshold), so a level is a simple parallel map; between levels the
+workers' results are folded into the shared top-k list and pure-itemset
+set, restoring most of the cross-subtree pruning.
+
+This module implements that strategy with ``multiprocessing`` on one
+machine — the paper's cluster stands in for our process pool (DESIGN.md
+substitution #4).  Some pruning is lost across subtrees within a level
+(the paper notes the same), so the parallel run can evaluate slightly more
+partitions than the serial one while producing the same contrasts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core import measures
+from ..core.config import MinerConfig
+from ..core.contrast import ContrastPattern
+from ..core.instrumentation import MiningStats, Stopwatch
+from ..core.items import CategoricalItem, Itemset
+from ..core.pruning import is_pure_space
+from ..core.sdad import sdad_cs
+from ..core.topk import TopKList
+from ..dataset.table import Dataset
+
+__all__ = ["ParallelMiningResult", "mine_parallel", "mine_level_tasks"]
+
+# Worker-global dataset: sent once per worker via the initializer instead
+# of pickling the dataset into every task.
+_WORKER_DATASET: Dataset | None = None
+_WORKER_CONFIG: MinerConfig | None = None
+
+
+def _init_worker(dataset: Dataset, config: MinerConfig) -> None:
+    global _WORKER_DATASET, _WORKER_CONFIG
+    _WORKER_DATASET = dataset
+    _WORKER_CONFIG = config
+
+
+@dataclass
+class _LevelTask:
+    """One attribute combination to mine at the current level."""
+
+    categorical: tuple[str, ...]
+    continuous: tuple[str, ...]
+    contexts: tuple[Itemset, ...]  # viable categorical contexts
+    min_interest: float
+    known_pure: tuple[Itemset, ...]
+
+
+@dataclass
+class _TaskOutcome:
+    patterns: list[ContrastPattern] = field(default_factory=list)
+    pure_itemsets: list[Itemset] = field(default_factory=list)
+    viable_contexts: list[Itemset] = field(default_factory=list)
+    partitions_evaluated: int = 0
+
+
+def _run_task(task: _LevelTask) -> _TaskOutcome:
+    """Worker body: mine one attribute combination."""
+    dataset, config = _WORKER_DATASET, _WORKER_CONFIG
+    assert dataset is not None and config is not None
+    outcome = _TaskOutcome()
+    stats = MiningStats()
+    measure = measures.get(config.interest_measure)
+
+    if task.continuous:
+        for context in task.contexts:
+            result = sdad_cs(
+                dataset,
+                context,
+                task.continuous,
+                config,
+                min_interest=task.min_interest,
+                stats=stats,
+                known_pure=task.known_pure,
+                base_level=len(context),
+            )
+            outcome.patterns.extend(result.patterns)
+            outcome.pure_itemsets.extend(result.pure_itemsets)
+    else:
+        # categorical-only combination: evaluate value extensions of the
+        # viable contexts over the final attribute
+        from ..core.contrast import evaluate_itemset
+        from ..core.pruning import (
+            expected_count_prunes,
+            minimum_deviation_prunes,
+        )
+
+        level = len(task.categorical)
+        alpha = config.alpha / (2**level)
+        last = task.categorical[-1]
+        attr = dataset.attribute(last)
+        for context in task.contexts:
+            for value in attr.categories:
+                itemset = context.with_item(CategoricalItem(last, value))
+                stats.partitions_evaluated += 1
+                pattern = evaluate_itemset(itemset, dataset, level)
+                if minimum_deviation_prunes(
+                    pattern.counts, pattern.group_sizes, config.delta
+                ):
+                    continue
+                if expected_count_prunes(
+                    pattern.counts,
+                    pattern.group_sizes,
+                    config.min_expected_count,
+                ):
+                    continue
+                outcome.viable_contexts.append(itemset)
+                if pattern.is_contrast(config.delta, alpha):
+                    outcome.patterns.append(pattern)
+                    if is_pure_space(pattern.counts):
+                        outcome.pure_itemsets.append(itemset)
+    outcome.partitions_evaluated = stats.partitions_evaluated
+    return outcome
+
+
+@dataclass
+class ParallelMiningResult:
+    patterns: list[ContrastPattern]
+    stats: MiningStats
+    n_workers: int
+
+    def top(self, n: int | None = None) -> list[ContrastPattern]:
+        return self.patterns if n is None else self.patterns[:n]
+
+
+def mine_level_tasks(
+    dataset: Dataset,
+    level: int,
+    viable_by_prefix: dict[tuple[str, ...], list[Itemset]],
+    min_interest: float,
+    known_pure: Sequence[Itemset],
+) -> list[_LevelTask]:
+    """Build the independent tasks for one level of the search tree."""
+    names = dataset.schema.names
+    tasks: list[_LevelTask] = []
+    for combo in itertools.combinations(names, level):
+        categorical = tuple(
+            a for a in combo if dataset.attribute(a).is_categorical
+        )
+        continuous = tuple(
+            a for a in combo if dataset.attribute(a).is_continuous
+        )
+        if continuous:
+            if categorical:
+                contexts = tuple(viable_by_prefix.get(categorical, ()))
+                if not contexts:
+                    continue
+            else:
+                contexts = (Itemset(),)
+            tasks.append(
+                _LevelTask(
+                    categorical,
+                    continuous,
+                    contexts,
+                    min_interest,
+                    tuple(known_pure),
+                )
+            )
+        else:
+            prefix = categorical[:-1]
+            contexts = (
+                (Itemset(),)
+                if not prefix
+                else tuple(viable_by_prefix.get(prefix, ()))
+            )
+            if not contexts:
+                continue
+            tasks.append(
+                _LevelTask(
+                    categorical,
+                    (),
+                    contexts,
+                    min_interest,
+                    tuple(known_pure),
+                )
+            )
+    return tasks
+
+
+def mine_parallel(
+    dataset: Dataset,
+    config: MinerConfig | None = None,
+    n_workers: int | None = None,
+) -> ParallelMiningResult:
+    """Mine contrast patterns level-parallel across a process pool.
+
+    Within a level every attribute-combination task runs independently;
+    between levels the shared top-k threshold, the viable categorical
+    itemsets, and the pure-itemset list are refreshed from the gathered
+    results — the scheme the paper sketches for cluster execution.
+    """
+    config = config or MinerConfig()
+    n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
+    stats = MiningStats()
+    topk = TopKList(config.k, config.delta)
+    measure = measures.get(config.interest_measure)
+    viable_by_prefix: dict[tuple[str, ...], list[Itemset]] = {}
+    known_pure: list[Itemset] = []
+    max_depth = min(config.max_tree_depth, len(dataset.schema))
+
+    with Stopwatch(stats):
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(dataset, config),
+        ) as pool:
+            for level in range(1, max_depth + 1):
+                tasks = mine_level_tasks(
+                    dataset,
+                    level,
+                    viable_by_prefix,
+                    topk.threshold,
+                    known_pure,
+                )
+                if not tasks:
+                    break
+                stats.candidates_generated += len(tasks)
+                next_viable: dict[tuple[str, ...], list[Itemset]] = {}
+                for task, outcome in zip(
+                    tasks, pool.map(_run_task, tasks, chunksize=1)
+                ):
+                    stats.partitions_evaluated += (
+                        outcome.partitions_evaluated
+                    )
+                    for pattern in outcome.patterns:
+                        topk.add(pattern, measure(pattern))
+                    known_pure.extend(outcome.pure_itemsets)
+                    if not task.continuous:
+                        next_viable.setdefault(
+                            task.categorical, []
+                        ).extend(outcome.viable_contexts)
+                viable_by_prefix.update(next_viable)
+    return ParallelMiningResult(topk.patterns(), stats, n_workers)

@@ -1,0 +1,7 @@
+"""Streaming contrast mining over sliding windows (the companion-work
+extension the paper cites as [17])."""
+
+from .miner import StreamingContrastMiner, StreamUpdate
+from .window import SlidingWindow
+
+__all__ = ["StreamingContrastMiner", "StreamUpdate", "SlidingWindow"]

@@ -1,0 +1,214 @@
+"""Streaming contrast-set mining over a sliding window.
+
+The monitoring loop the paper motivates (Section 1: "deliver timely
+feedback to the engineers"): rows stream in, the miner periodically
+re-mines the current window, and reports *drift* — contrasts that newly
+emerged, strengthened, or vanished since the previous refresh.  This
+follows the authors' companion work on mixed streaming data ([17]).
+
+Emergence/disappearance is decided statistically, not by exact itemset
+identity: a new pattern whose region is subsumed by (or subsumes) an old
+pattern with a statistically-equal support difference is the *same*
+finding, not news.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.config import MinerConfig
+from ..core.contrast import ContrastPattern
+from ..core.miner import ContrastSetMiner
+from ..dataset.schema import Schema
+from ..dataset.table import Dataset
+from .window import SlidingWindow
+
+__all__ = ["StreamUpdate", "StreamingContrastMiner"]
+
+
+@dataclass
+class StreamUpdate:
+    """What changed at a refresh."""
+
+    refreshed: bool
+    rows_seen: int
+    window_rows: int
+    patterns: list[ContrastPattern] = field(default_factory=list)
+    emerged: list[ContrastPattern] = field(default_factory=list)
+    vanished: list[ContrastPattern] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.emerged or self.vanished)
+
+
+def _regions_overlap(a: ContrastPattern, b: ContrastPattern) -> bool:
+    """Same attribute set, equal categorical items, overlapping numeric
+    intervals — the window's observed bounds jitter between refreshes, so
+    strict containment would call every refresh a drift."""
+    from ..core.items import CategoricalItem, NumericItem
+
+    if a.itemset.attributes != b.itemset.attributes:
+        return False
+    for item in a.itemset:
+        other = b.itemset.item_for(item.attribute)
+        if isinstance(item, CategoricalItem):
+            if item != other:
+                return False
+        else:
+            assert isinstance(other, NumericItem)
+            if not item.interval.overlaps(other.interval):
+                return False
+    return True
+
+
+def _same_finding(
+    a: ContrastPattern, b: ContrastPattern, alpha: float
+) -> bool:
+    """Are two patterns the same finding (region-wise and statistically)?"""
+    if a.itemset == b.itemset:
+        return True
+    if not _regions_overlap(a, b):
+        return False
+    hi = max(range(len(a.supports)), key=a.supports.__getitem__)
+    lo = min(range(len(a.supports)), key=a.supports.__getitem__)
+
+    def adjusted(support: float, size: int) -> float:
+        # Laplace/continuity correction: supports of exactly 0 or 1 have
+        # zero estimated sampling variance, collapsing the CLT band and
+        # flagging every refresh as drift.
+        return (support * size + 1.0) / (size + 2.0)
+
+    # Both differences are estimates from (partially) different windows,
+    # so the band combines both sampling variances.
+    import math
+
+    from ..core.stats import clt_difference_bound
+
+    band_a = clt_difference_bound(
+        adjusted(a.supports[hi], a.group_sizes[hi]),
+        adjusted(a.supports[lo], a.group_sizes[lo]),
+        a.group_sizes[hi],
+        a.group_sizes[lo],
+        alpha,
+    )
+    band_b = clt_difference_bound(
+        adjusted(b.supports[hi], b.group_sizes[hi]),
+        adjusted(b.supports[lo], b.group_sizes[lo]),
+        b.group_sizes[hi],
+        b.group_sizes[lo],
+        alpha,
+    )
+    diff_a = a.supports[hi] - a.supports[lo]
+    diff_b = b.supports[hi] - b.supports[lo]
+    return abs(diff_a - diff_b) <= math.hypot(band_a, band_b)
+
+
+class StreamingContrastMiner:
+    """Windowed re-mining with drift reporting.
+
+    Parameters
+    ----------
+    schema / group_labels:
+        Stream row layout (categorical columns arrive as codes).
+    config:
+        Miner configuration used at every refresh.
+    window_size:
+        Rows kept in the sliding window.
+    refresh_every:
+        Re-mine after this many new rows (a refresh also happens on the
+        first update once the window has ``min_rows`` rows).
+    min_rows:
+        Do not mine before the window holds at least this many rows.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        group_labels: Sequence[str],
+        config: MinerConfig | None = None,
+        window_size: int = 5000,
+        refresh_every: int = 1000,
+        min_rows: int = 200,
+    ) -> None:
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be positive")
+        self.config = config or MinerConfig()
+        self.window = SlidingWindow(schema, group_labels, window_size)
+        self.refresh_every = refresh_every
+        self.min_rows = min_rows
+        self._since_refresh = 0
+        self._patterns: list[ContrastPattern] = []
+        self._ever_refreshed = False
+
+    @property
+    def current_patterns(self) -> list[ContrastPattern]:
+        """Patterns from the most recent refresh."""
+        return list(self._patterns)
+
+    def update(
+        self,
+        columns: Mapping[str, np.ndarray],
+        group_codes: np.ndarray,
+    ) -> StreamUpdate:
+        """Feed a chunk of rows; re-mine if the refresh interval passed."""
+        group_codes = np.asarray(group_codes)
+        self.window.append(columns, group_codes)
+        self._since_refresh += int(group_codes.shape[0])
+
+        window_ready = len(self.window) >= self.min_rows
+        due = (
+            self._since_refresh >= self.refresh_every
+            or not self._ever_refreshed
+        )
+        if not (window_ready and due):
+            return StreamUpdate(
+                refreshed=False,
+                rows_seen=self.window.total_seen,
+                window_rows=len(self.window),
+                patterns=self.current_patterns,
+            )
+        return self._refresh()
+
+    def update_dataset(self, dataset: Dataset) -> StreamUpdate:
+        """Feed a chunk given as a Dataset with a compatible schema."""
+        return self.update(
+            {name: dataset.column(name) for name in
+             self.window.schema.names},
+            np.asarray(dataset.group_codes),
+        )
+
+    def _refresh(self) -> StreamUpdate:
+        snapshot = self.window.snapshot()
+        mineable = all(size > 0 for size in snapshot.group_sizes)
+        new_patterns: list[ContrastPattern] = []
+        if mineable:
+            result = ContrastSetMiner(self.config).mine(snapshot)
+            new_patterns = result.patterns
+
+        alpha = self.config.alpha
+        emerged = [
+            p
+            for p in new_patterns
+            if not any(_same_finding(p, old, alpha) for old in self._patterns)
+        ]
+        vanished = [
+            old
+            for old in self._patterns
+            if not any(_same_finding(old, p, alpha) for p in new_patterns)
+        ]
+        previous_existed = self._ever_refreshed
+        self._patterns = new_patterns
+        self._since_refresh = 0
+        self._ever_refreshed = True
+        return StreamUpdate(
+            refreshed=True,
+            rows_seen=self.window.total_seen,
+            window_rows=len(self.window),
+            patterns=list(new_patterns),
+            emerged=emerged if previous_existed else list(new_patterns),
+            vanished=vanished if previous_existed else [],
+        )

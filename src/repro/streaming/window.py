@@ -1,0 +1,136 @@
+"""Sliding window over a row stream (streaming extension).
+
+The paper closes by noting that manufacturing data arrives continuously
+and cites the authors' companion work on contrast patterns for *mixed
+streaming data* (reference [17], EDBT 2018).  This module provides the
+substrate for that extension: a bounded sliding window of the most recent
+rows, kept in columnar numpy buffers so a :class:`~repro.dataset.table.
+Dataset` snapshot is cheap to materialise for re-mining.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Mapping, Sequence
+
+import numpy as np
+
+from ..dataset.schema import Schema
+from ..dataset.table import Dataset, DatasetError
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """A bounded FIFO of rows with columnar storage.
+
+    Rows are appended in chunks; when the window exceeds ``capacity``, the
+    oldest rows fall out.  ``snapshot()`` materialises the current
+    contents as a regular :class:`Dataset`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        group_labels: Sequence[str],
+        capacity: int,
+        group_name: str = "group",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.schema = schema
+        self.group_labels = tuple(group_labels)
+        self.capacity = capacity
+        self.group_name = group_name
+        self._chunks: Deque[dict[str, np.ndarray]] = deque()
+        self._group_chunks: Deque[np.ndarray] = deque()
+        self._size = 0
+        self.total_seen = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size >= self.capacity
+
+    def append(
+        self,
+        columns: Mapping[str, np.ndarray],
+        group_codes: np.ndarray,
+    ) -> None:
+        """Append a chunk of rows (columnar, already coded)."""
+        group_codes = np.asarray(group_codes)
+        n = group_codes.shape[0]
+        if n == 0:
+            return
+        chunk: dict[str, np.ndarray] = {}
+        for attr in self.schema:
+            try:
+                col = np.asarray(columns[attr.name])
+            except KeyError:
+                raise DatasetError(f"missing column {attr.name!r}") from None
+            if col.shape[0] != n:
+                raise DatasetError(
+                    f"column {attr.name!r} has {col.shape[0]} rows, "
+                    f"expected {n}"
+                )
+            chunk[attr.name] = col
+        self._chunks.append(chunk)
+        self._group_chunks.append(group_codes)
+        self._size += n
+        self.total_seen += n
+        self._evict()
+
+    def append_dataset(self, dataset: Dataset) -> None:
+        """Append all rows of a dataset with a compatible schema."""
+        if dataset.schema.names != self.schema.names:
+            raise DatasetError("schema mismatch")
+        if dataset.group_labels != self.group_labels:
+            raise DatasetError("group labels mismatch")
+        self.append(
+            {name: dataset.column(name) for name in self.schema.names},
+            np.asarray(dataset.group_codes),
+        )
+
+    def _evict(self) -> None:
+        while self._size > self.capacity and self._chunks:
+            overflow = self._size - self.capacity
+            head = self._group_chunks[0]
+            if head.shape[0] <= overflow:
+                self._chunks.popleft()
+                self._group_chunks.popleft()
+                self._size -= head.shape[0]
+            else:
+                # trim the front of the oldest chunk
+                chunk = self._chunks[0]
+                self._chunks[0] = {
+                    name: col[overflow:] for name, col in chunk.items()
+                }
+                self._group_chunks[0] = head[overflow:]
+                self._size -= overflow
+
+    def snapshot(self) -> Dataset:
+        """Materialise the window contents as a Dataset."""
+        if self._size == 0:
+            columns = {
+                attr.name: np.array(
+                    [], dtype=np.int64 if attr.is_categorical else float
+                )
+                for attr in self.schema
+            }
+            return Dataset(
+                self.schema,
+                columns,
+                np.array([], dtype=np.int64),
+                self.group_labels,
+                self.group_name,
+            )
+        columns = {
+            name: np.concatenate([c[name] for c in self._chunks])
+            for name in self.schema.names
+        }
+        groups = np.concatenate(list(self._group_chunks))
+        return Dataset(
+            self.schema, columns, groups, self.group_labels, self.group_name
+        )

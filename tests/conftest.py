@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Attribute, Dataset, Schema
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mixed_dataset(rng) -> Dataset:
+    """A small mixed dataset with one planted contrast on ``x``.
+
+    Group "A" has x in [0, 0.5), group "B" in [0.5, 1); ``noise`` and
+    ``color`` are group-independent.
+    """
+    n = 600
+    group = rng.integers(0, 2, n)
+    x = np.where(
+        group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1.0, n)
+    )
+    noise = rng.uniform(0, 1, n)
+    color = rng.integers(0, 3, n)
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.continuous("noise"),
+            Attribute.categorical("color", ["red", "green", "blue"]),
+        ]
+    )
+    return Dataset(
+        schema,
+        {"x": x, "noise": noise, "color": color},
+        group,
+        ["A", "B"],
+    )
+
+
+@pytest.fixture
+def categorical_dataset(rng) -> Dataset:
+    """Pure-categorical dataset with a planted contrast on ``tool``."""
+    n = 800
+    group = rng.integers(0, 2, n)
+    # tool "T1" is strongly over-represented in group "bad"
+    tool = np.where(
+        group == 1,
+        rng.choice([0, 1, 2], n, p=[0.7, 0.2, 0.1]),
+        rng.choice([0, 1, 2], n, p=[0.2, 0.4, 0.4]),
+    )
+    shift = rng.integers(0, 2, n)
+    schema = Schema.of(
+        [
+            Attribute.categorical("tool", ["T1", "T2", "T3"]),
+            Attribute.categorical("shift", ["day", "night"]),
+        ]
+    )
+    return Dataset(
+        schema,
+        {"tool": tool, "shift": shift},
+        group,
+        ["good", "bad"],
+    )

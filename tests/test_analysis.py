@@ -1,0 +1,163 @@
+"""Tests for the analysis harness (Table 4/5/6 protocols and reports)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALGORITHMS,
+    census,
+    compare_algorithms,
+    comparison_table,
+    mean_top_k_difference,
+    pattern_table,
+    run_algorithm,
+    supports_histogram,
+    timing_table,
+)
+from repro.core.config import MinerConfig
+from repro.core.contrast import ContrastPattern
+from repro.core.items import CategoricalItem, Itemset
+
+
+def _pattern(tag, counts, sizes=(100, 100)):
+    return ContrastPattern(
+        itemset=Itemset([CategoricalItem("c", tag)]),
+        counts=counts,
+        group_sizes=sizes,
+        group_labels=("A", "B"),
+    )
+
+
+class TestMeanTopK:
+    def test_takes_best_k(self):
+        patterns = [
+            _pattern("a", (90, 10)),  # diff 0.8
+            _pattern("b", (60, 10)),  # diff 0.5
+            _pattern("c", (30, 10)),  # diff 0.2
+        ]
+        assert mean_top_k_difference(patterns, 2) == pytest.approx(0.65)
+
+    def test_k_larger_than_list(self):
+        patterns = [_pattern("a", (90, 10))]
+        assert mean_top_k_difference(patterns, 10) == pytest.approx(0.8)
+
+    def test_empty(self):
+        assert mean_top_k_difference([], 5) == 0.0
+        assert mean_top_k_difference([_pattern("a", (90, 10))], 0) == 0.0
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_each_algorithm_runs(self, name, mixed_dataset):
+        result = run_algorithm(
+            name, mixed_dataset, MinerConfig(k=20, max_tree_depth=2)
+        )
+        assert result.name
+        assert result.elapsed_seconds >= 0
+        # strong planted contrast: every pipeline should see something
+        assert result.patterns
+        # all results must be expressed over original attributes
+        for pattern in result.patterns:
+            for attr in pattern.itemset.attributes:
+                assert attr in mixed_dataset.schema
+
+    def test_unknown_algorithm(self, mixed_dataset):
+        with pytest.raises(KeyError):
+            run_algorithm("nope", mixed_dataset)
+
+    def test_patterns_ranked_by_difference(self, mixed_dataset):
+        result = run_algorithm(
+            "sdad", mixed_dataset, MinerConfig(k=20, max_tree_depth=2)
+        )
+        diffs = [p.support_difference for p in result.patterns]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_restored_counts_are_consistent(self, mixed_dataset):
+        """Bin-based miners must report counts matching a recount on the
+        original data."""
+        result = run_algorithm(
+            "entropy", mixed_dataset, MinerConfig(k=20, max_tree_depth=2)
+        )
+        for pattern in result.patterns:
+            mask = pattern.itemset.cover(mixed_dataset)
+            counts = tuple(
+                int(c) for c in mixed_dataset.group_counts(mask)
+            )
+            assert counts == pattern.counts
+
+
+class TestCompareAlgorithms:
+    def test_protocol(self, mixed_dataset):
+        comparison = compare_algorithms(
+            mixed_dataset,
+            "fixture",
+            algorithms=("sdad_np", "entropy"),
+            config=MinerConfig(k=20, max_tree_depth=2),
+        )
+        assert comparison.k_used >= 1
+        assert set(comparison.rows) == {"sdad_np", "entropy"}
+        reference = comparison.rows["sdad_np"]
+        assert reference.p_value_vs_reference == 1.0
+        assert 0 <= comparison.rows["entropy"].mean_difference <= 1
+
+    def test_reference_must_be_included(self, mixed_dataset):
+        with pytest.raises(ValueError):
+            compare_algorithms(
+                mixed_dataset,
+                algorithms=("sdad_np",),
+                reference="cortana",
+            )
+
+    def test_formatted_star(self):
+        from repro.analysis.comparison import ComparisonRow
+
+        same = ComparisonRow("x", 0.5, 10, 0.9, 0.0, 0)
+        different = ComparisonRow("x", 0.5, 10, 0.01, 0.0, 0)
+        assert same.formatted().endswith("*")
+        assert not different.formatted().endswith("*")
+
+
+class TestCensus:
+    def test_counts_consistent(self, mixed_dataset):
+        result = census(
+            mixed_dataset,
+            "fixture",
+            config=MinerConfig(k=20, max_tree_depth=2),
+            top=20,
+        )
+        assert result.n_patterns == result.n_meaningful + result.n_meaningless
+        assert result.n_patterns <= 20
+        assert "fixture" in result.formatted()
+
+
+class TestReports:
+    def test_pattern_table_contains_rows(self):
+        patterns = [_pattern("a", (90, 10)), _pattern("b", (60, 10))]
+        text = pattern_table(patterns, title="T")
+        assert "c = a" in text and "c = b" in text
+        assert "0.90" in text
+
+    def test_pattern_table_empty(self):
+        assert "no contrasts" in pattern_table([])
+
+    def test_comparison_and_timing_tables(self, mixed_dataset):
+        comparison = compare_algorithms(
+            mixed_dataset,
+            "fixture",
+            algorithms=("sdad_np", "entropy"),
+            config=MinerConfig(k=10, max_tree_depth=1),
+        )
+        table = comparison_table([comparison], ("sdad_np", "entropy"))
+        assert "fixture" in table
+        timing = timing_table([comparison], ("sdad_np", "entropy"))
+        assert "fixture" in timing
+
+    def test_supports_histogram(self):
+        text = supports_histogram(
+            ["(0, 1]", "(1, 2]"],
+            {"A": [0.5, 0.2], "B": [0.1, 0.9]},
+            purity=[0.8, 0.78],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "PR=0.80" in text

@@ -1,0 +1,116 @@
+"""Tests for the bitmap index substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.items import CategoricalItem, Itemset
+from repro.dataset.bitmap import BitmapIndex
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _dataset(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema.of(
+        [
+            Attribute.categorical("a", ["x", "y", "z"]),
+            Attribute.categorical("b", ["p", "q"]),
+            Attribute.continuous("noise"),
+        ]
+    )
+    return Dataset(
+        schema,
+        {
+            "a": rng.integers(0, 3, n),
+            "b": rng.integers(0, 2, n),
+            "noise": rng.uniform(0, 1, n),
+        },
+        rng.integers(0, 2, n),
+        ["G0", "G1"],
+    )
+
+
+class TestBitmapIndex:
+    def test_counts_match_mask_path(self):
+        ds = _dataset()
+        index = BitmapIndex(ds)
+        for a_val in ("x", "y", "z"):
+            for b_val in ("p", "q"):
+                itemset = Itemset(
+                    [
+                        CategoricalItem("a", a_val),
+                        CategoricalItem("b", b_val),
+                    ]
+                )
+                mask = itemset.cover(ds)
+                assert index.count(itemset) == int(mask.sum())
+                np.testing.assert_array_equal(
+                    index.group_counts(itemset), ds.group_counts(mask)
+                )
+
+    def test_supports_match(self):
+        ds = _dataset()
+        index = BitmapIndex(ds)
+        itemset = Itemset([CategoricalItem("a", "x")])
+        np.testing.assert_allclose(
+            index.supports(itemset), ds.supports(itemset.cover(ds))
+        )
+
+    def test_empty_itemset_counts_everything(self):
+        ds = _dataset()
+        index = BitmapIndex(ds)
+        assert index.count(Itemset()) == ds.n_rows
+
+    def test_continuous_attribute_rejected(self):
+        ds = _dataset()
+        with pytest.raises(ValueError, match="categorical"):
+            BitmapIndex(ds, attributes=["noise"])
+
+    def test_numeric_item_rejected(self):
+        from repro.core.items import Interval, NumericItem
+
+        ds = _dataset()
+        index = BitmapIndex(ds)
+        itemset = Itemset([NumericItem("noise", Interval(0, 1))])
+        with pytest.raises(ValueError):
+            index.cover_bits(itemset)
+
+    def test_unknown_item(self):
+        ds = _dataset()
+        index = BitmapIndex(ds, attributes=["a"])
+        with pytest.raises(KeyError):
+            index.item_bitmap(CategoricalItem("b", "p"))
+
+    def test_memory_is_bounded(self):
+        ds = _dataset(n=1000)
+        index = BitmapIndex(ds)
+        # 5 value bitmaps + 2 group bitmaps + full, 125 bytes each
+        assert index.memory_bytes() <= 8 * 200
+
+    def test_odd_row_counts(self):
+        # row counts not divisible by 8 exercise packbits padding
+        for n in (1, 7, 9, 63, 65):
+            ds = _dataset(n=n, seed=n)
+            index = BitmapIndex(ds)
+            itemset = Itemset([CategoricalItem("a", "x")])
+            assert index.count(itemset) == int(itemset.cover(ds).sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 300),
+    seed=st.integers(0, 1000),
+)
+def test_bitmap_counts_always_match(n, seed):
+    """Property: bitmap counting agrees with mask counting for every
+    single-item and two-item categorical itemset."""
+    ds = _dataset(n=n, seed=seed)
+    index = BitmapIndex(ds)
+    items = [CategoricalItem("a", "x"), CategoricalItem("b", "q")]
+    for itemset in (Itemset([items[0]]), Itemset(items)):
+        mask = itemset.cover(ds)
+        np.testing.assert_array_equal(
+            index.group_counts(itemset), ds.group_counts(mask)
+        )

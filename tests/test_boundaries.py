@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.boundaries."""
+
+import math
+
+import pytest
+
+from repro.analysis.boundaries import (
+    boundary_errors,
+    boundary_report,
+    pattern_boundaries,
+    spurious_cuts,
+)
+from repro.core.contrast import ContrastPattern
+from repro.core.items import (
+    CategoricalItem,
+    Interval,
+    Itemset,
+    NumericItem,
+)
+
+
+def _pattern(items):
+    return ContrastPattern(
+        itemset=Itemset(items),
+        counts=(10, 30),
+        group_sizes=(100, 100),
+        group_labels=("A", "B"),
+    )
+
+
+class TestPatternBoundaries:
+    def test_extracts_finite_endpoints(self):
+        patterns = [
+            _pattern([NumericItem("x", Interval(0.2, 0.6))]),
+            _pattern([NumericItem("x", Interval(0.6, 0.9))]),
+        ]
+        assert pattern_boundaries(patterns, "x") == [0.2, 0.6, 0.9]
+
+    def test_skips_infinite_endpoints(self):
+        patterns = [
+            _pattern(
+                [NumericItem("x", Interval(-math.inf, 0.5))]
+            )
+        ]
+        assert pattern_boundaries(patterns, "x") == [0.5]
+
+    def test_skips_other_attributes(self):
+        patterns = [
+            _pattern(
+                [
+                    NumericItem("y", Interval(0.1, 0.9)),
+                    CategoricalItem("c", "a"),
+                ]
+            )
+        ]
+        assert pattern_boundaries(patterns, "x") == []
+
+    def test_drops_range_endpoints(self):
+        patterns = [
+            _pattern([NumericItem("x", Interval(0.0, 0.5, True, True))])
+        ]
+        cuts = pattern_boundaries(
+            patterns, "x", value_range=(0.0, 1.0)
+        )
+        assert cuts == [0.5]  # the observed minimum is not a real cut
+
+    def test_deduplicates(self):
+        patterns = [
+            _pattern([NumericItem("x", Interval(0.2, 0.5))]),
+            _pattern([NumericItem("x", Interval(0.5, 0.8))]),
+            _pattern([NumericItem("x", Interval(0.2, 0.8))]),
+        ]
+        assert pattern_boundaries(patterns, "x") == [0.2, 0.5, 0.8]
+
+
+class TestErrors:
+    def test_errors_to_nearest(self):
+        assert boundary_errors([0.48, 0.9], [0.5]) == [
+            pytest.approx(0.02)
+        ]
+
+    def test_empty_found_is_inf(self):
+        assert boundary_errors([], [0.5]) == [math.inf]
+
+    def test_spurious(self):
+        assert spurious_cuts([0.5, 0.9], [0.5], tolerance=0.05) == [0.9]
+        assert spurious_cuts([0.52], [0.5], tolerance=0.05) == []
+
+    def test_spurious_with_no_truth(self):
+        assert spurious_cuts([0.3], [], tolerance=0.05) == [0.3]
+
+
+class TestBoundaryReport:
+    def test_full_report(self):
+        patterns = [
+            _pattern([NumericItem("x", Interval(0.1, 0.51))]),
+            _pattern([NumericItem("x", Interval(0.51, 0.95))]),
+        ]
+        report = boundary_report(
+            patterns, "x", truth=[0.5], tolerance=0.05
+        )
+        assert report.recovered_all
+        assert report.worst_error == pytest.approx(0.01)
+        # 0.1 and 0.95 are spurious relative to truth [0.5]
+        assert report.n_spurious == 2
+        assert "1/1" in report.formatted(0.05)
+
+    def test_missing_boundary(self):
+        patterns = [_pattern([NumericItem("x", Interval(0.1, 0.2))])]
+        report = boundary_report(patterns, "x", truth=[0.8])
+        assert not report.recovered_all or report.worst_error > 0.5

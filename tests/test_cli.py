@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.io import write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path, mixed_dataset):
+    path = tmp_path / "data.csv"
+    write_csv(mixed_dataset, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_measure_rejected(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", csv_path, "--group", "group",
+                 "--measure", "bogus"]
+            )
+
+
+class TestInfo:
+    def test_describes_dataset(self, csv_path, capsys):
+        assert main(["info", csv_path, "--group", "group"]) == 0
+        out = capsys.readouterr().out
+        assert "600 rows" in out
+        assert "x: continuous" in out
+        assert "color: categorical" in out
+
+
+class TestMine:
+    def test_meaningful_by_default(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--k", "20",
+             "--depth", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Meaningful contrasts" in out
+        assert "x" in out
+        assert "partitions evaluated" in out
+
+    def test_all_flag_prints_raw(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--k", "10",
+             "--depth", "1", "--all", "--top", "5"]
+        )
+        assert code == 0
+        assert "raw" in capsys.readouterr().out
+
+    def test_attribute_restriction(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "1",
+             "--attributes", "noise"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x <=" not in out
+
+    def test_group_selection(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--groups", "A", "B",
+             "--depth", "1"]
+        )
+        assert code == 0
+
+    def test_measure_option(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "1",
+             "--measure", "surprising"]
+        )
+        assert code == 0
+
+    def test_validate_flag(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "1",
+             "--validate", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survived holdout" in out
+
+    def test_briefing_flag(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "1",
+             "--briefing"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Characteristic of" in out
+
+
+class TestCompare:
+    def test_two_algorithms(self, csv_path, capsys):
+        code = main(
+            [
+                "compare", csv_path, "--group", "group",
+                "--algorithms", "sdad_np", "entropy",
+                "--depth", "2", "--k", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sdad_np" in out and "entropy" in out
+        assert "WMW" in out
+
+
+class TestGenerate:
+    def test_generate_simulated(self, tmp_path, capsys):
+        out_path = tmp_path / "sim.csv"
+        code = main(
+            ["generate", "simulated_dataset_3", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_uci_with_scale(self, tmp_path):
+        out_path = tmp_path / "tr.csv"
+        code = main(
+            ["generate", "transfusion", str(out_path), "--seed", "1"]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "recency_months" in text.splitlines()[0]
+
+    def test_generate_unknown(self, tmp_path, capsys):
+        code = main(["generate", "nope", str(tmp_path / "x.csv")])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_generated_csv_roundtrips_through_mine(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "sim.csv"
+        main(["generate", "simulated_dataset_3", str(out_path)])
+        code = main(
+            ["mine", str(out_path), "--group", "group", "--depth", "1"]
+        )
+        assert code == 0
+        assert "Attribute 1" in capsys.readouterr().out

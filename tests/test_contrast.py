@@ -1,0 +1,225 @@
+"""Tests for repro.core.contrast and repro.core.measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import measures
+from repro.core.contrast import ContrastPattern, evaluate_itemset
+from repro.core.items import CategoricalItem, Interval, Itemset, NumericItem
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _pattern(counts, sizes, labels=("A", "B")):
+    return ContrastPattern(
+        itemset=Itemset([CategoricalItem("c", "v")]),
+        counts=counts,
+        group_sizes=sizes,
+        group_labels=labels,
+    )
+
+
+class TestContrastPattern:
+    def test_supports(self):
+        p = _pattern((10, 40), (100, 100))
+        assert p.supports == (0.10, 0.40)
+        assert p.support("A") == 0.10
+        assert p.support(1) == 0.40
+
+    def test_support_difference(self):
+        p = _pattern((10, 40), (100, 100))
+        assert p.support_difference == pytest.approx(0.30)
+
+    def test_dominant_group(self):
+        assert _pattern((10, 40), (100, 100)).dominant_group == "B"
+        assert _pattern((40, 10), (100, 100)).dominant_group == "A"
+
+    def test_purity_ratio_paper_example(self):
+        # paper Section 4.2: c1 = supports (0.02, 0.04) -> PR = 0.5
+        p = _pattern((2, 4), (100, 100))
+        assert p.purity_ratio == pytest.approx(0.5)
+        # c2 = supports (0.30, 0.60) -> same PR
+        q = _pattern((30, 60), (100, 100))
+        assert q.purity_ratio == pytest.approx(0.5)
+
+    def test_surprising_prefers_larger_contrast(self):
+        # equal PR but larger coverage -> larger surprising measure
+        small = _pattern((2, 4), (100, 100))
+        large = _pattern((30, 60), (100, 100))
+        assert (
+            large.surprising_measure > small.surprising_measure
+        )
+
+    def test_purity_ratio_pure_space(self):
+        p = _pattern((0, 40), (100, 100))
+        assert p.purity_ratio == pytest.approx(1.0)
+
+    def test_purity_ratio_empty(self):
+        p = _pattern((0, 0), (100, 100))
+        assert p.purity_ratio == 0.0
+
+    def test_figure2_walkthrough_values(self):
+        # Section 4.4: right half holds 48 of 98 "B" rows and 2 of 2 "A"
+        # rows; PR = 1 - (48/98)/(2/2) = 0.51
+        p = _pattern((48, 2), (98, 2), labels=("B", "A"))
+        assert p.purity_ratio == pytest.approx(1 - (48 / 98), abs=1e-9)
+
+    def test_chi_square_and_significance(self):
+        strong = _pattern((90, 10), (100, 100))
+        assert strong.is_significant(0.01)
+        weak = _pattern((50, 50), (100, 100))
+        assert not weak.is_significant(0.05)
+
+    def test_is_large(self):
+        assert _pattern((40, 10), (100, 100)).is_large(0.1)
+        assert not _pattern((40, 35), (100, 100)).is_large(0.1)
+
+    def test_is_contrast_combines_both(self):
+        p = _pattern((90, 10), (100, 100))
+        assert p.is_contrast(delta=0.1, alpha=0.05)
+        assert not p.is_contrast(delta=0.9, alpha=0.05)
+
+    def test_min_expected(self):
+        p = _pattern((10, 10), (100, 100))
+        assert p.min_expected == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _pattern((10,), (100,), labels=("A",))
+        with pytest.raises(ValueError):
+            _pattern((200, 0), (100, 100))
+        with pytest.raises(ValueError):
+            ContrastPattern(
+                Itemset(), (1, 2), (10,), ("A", "B")
+            )
+
+    def test_total_count(self):
+        assert _pattern((10, 40), (100, 100)).total_count == 50
+
+    def test_describe_contains_supports(self):
+        text = _pattern((10, 40), (100, 100)).describe()
+        assert "supp(A)=0.100" in text
+
+    def test_interest_dispatch(self):
+        p = _pattern((10, 40), (100, 100))
+        assert p.interest("support_difference") == pytest.approx(0.3)
+        assert p.interest("purity_ratio") == pytest.approx(0.75)
+
+
+class TestMultiGroup:
+    def test_three_groups_max_pairwise(self):
+        p = ContrastPattern(
+            Itemset(),
+            (10, 50, 30),
+            (100, 100, 100),
+            ("A", "B", "C"),
+        )
+        assert p.support_difference == pytest.approx(0.4)
+        assert p.dominant_group == "B"
+
+
+class TestEvaluateItemset:
+    def test_counts_match_manual(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.array([0.1, 0.2, 0.6, 0.7, 0.9])},
+            np.array([0, 0, 1, 1, 1]),
+            ["A", "B"],
+        )
+        itemset = Itemset([NumericItem("x", Interval(0.5, 1.0, False, True))])
+        p = evaluate_itemset(itemset, ds)
+        assert p.counts == (0, 3)
+        assert p.level == 1
+
+    def test_empty_itemset_covers_all(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.zeros(4)},
+            np.array([0, 0, 1, 1]),
+            ["A", "B"],
+        )
+        p = evaluate_itemset(Itemset(), ds)
+        assert p.counts == (2, 2)
+
+
+class TestMeasuresRegistry:
+    def test_available(self):
+        names = measures.available_measures()
+        for expected in (
+            "support_difference",
+            "purity_ratio",
+            "surprising",
+            "wracc",
+            "leverage",
+            "lift",
+        ):
+            assert expected in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            measures.get("nope")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError):
+            measures.register("support_difference")(lambda p: 0.0)
+
+    def test_wracc_zero_when_independent(self):
+        # coverage independent of groups -> WRAcc 0
+        p = _pattern((50, 50), (100, 100))
+        assert measures.wracc(p) == pytest.approx(0.0)
+
+    def test_wracc_positive_for_contrast(self):
+        p = _pattern((80, 20), (100, 100))
+        assert measures.wracc(p) > 0
+
+    def test_wracc_proportional_to_diff_two_groups(self):
+        # Novak et al.: for 2 groups WRAcc is proportional to support diff
+        # when group sizes are fixed.
+        sizes = (100, 300)
+        diffs, wraccs = [], []
+        for counts in [(80, 60), (50, 30), (90, 120)]:
+            p = _pattern(counts, sizes)
+            diffs.append(p.support_difference)
+            wraccs.append(measures.wracc(p))
+        ratios = [w / d for w, d in zip(wraccs, diffs)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_lift_of_pure_region(self):
+        p = _pattern((0, 50), (100, 100))
+        # all covered rows are group B; P(B)=0.5 -> lift = 2
+        assert measures.lift(p) == pytest.approx(2.0)
+
+    def test_leverage_sign(self):
+        assert measures.leverage(_pattern((80, 20), (100, 100))) > 0
+        assert measures.leverage(_pattern((50, 50), (100, 100))) == (
+            pytest.approx(0.0)
+        )
+
+    def test_empty_coverage_measures(self):
+        p = _pattern((0, 0), (100, 100))
+        assert measures.wracc(p) == 0.0
+        assert measures.lift(p) == 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    c1=st.integers(0, 100),
+    c2=st.integers(0, 100),
+    extra1=st.integers(0, 100),
+    extra2=st.integers(0, 100),
+)
+def test_pattern_invariants(c1, c2, extra1, extra2):
+    """Property: derived quantities stay in their defined ranges."""
+    sizes = (c1 + extra1 + 1, c2 + extra2 + 1)
+    p = _pattern((c1, c2), sizes)
+    assert 0.0 <= p.support_difference <= 1.0
+    assert 0.0 <= p.purity_ratio <= 1.0
+    assert 0.0 <= p.surprising_measure <= p.support_difference + 1e-12
+    assert p.chi_square.p_value <= 1.0
+    assert p.surprising_measure == pytest.approx(
+        p.purity_ratio * p.support_difference
+    )

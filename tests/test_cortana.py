@@ -1,0 +1,94 @@
+"""Tests for the Cortana-style subgroup discovery baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cortana import (
+    CortanaConfig,
+    cortana,
+    wracc_for_target,
+)
+from repro.core.contrast import ContrastPattern
+from repro.core.items import CategoricalItem, Itemset
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _pattern(counts, sizes):
+    return ContrastPattern(
+        itemset=Itemset([CategoricalItem("c", "v")]),
+        counts=counts,
+        group_sizes=sizes,
+        group_labels=("A", "B"),
+    )
+
+
+class TestWRAcc:
+    def test_independent_is_zero(self):
+        p = _pattern((50, 50), (100, 100))
+        assert wracc_for_target(p, 0) == pytest.approx(0.0)
+
+    def test_target_enrichment_positive(self):
+        p = _pattern((80, 20), (100, 100))
+        assert wracc_for_target(p, 0) > 0
+        assert wracc_for_target(p, 1) < 0
+
+    def test_empty_coverage(self):
+        p = _pattern((0, 0), (100, 100))
+        assert wracc_for_target(p, 0) == 0.0
+
+
+class TestCortana:
+    def test_finds_planted_contrast(self, mixed_dataset):
+        result = cortana(mixed_dataset, CortanaConfig(depth=1, k=20))
+        assert result.patterns
+        best = result.patterns[0]
+        assert best.itemset.item_for("x") is not None
+        assert best.support_difference > 0.7
+
+    def test_respects_min_coverage(self, mixed_dataset):
+        config = CortanaConfig(depth=1, min_coverage=30)
+        result = cortana(mixed_dataset, config)
+        for pattern in result.patterns:
+            assert pattern.total_count >= 30
+
+    def test_depth_bounds_itemset_size(self, mixed_dataset):
+        result = cortana(mixed_dataset, CortanaConfig(depth=1))
+        assert all(len(p.itemset) == 1 for p in result.patterns)
+        result2 = cortana(mixed_dataset, CortanaConfig(depth=2, k=50))
+        assert any(len(p.itemset) == 2 for p in result2.patterns)
+
+    def test_k_limits_output(self, mixed_dataset):
+        result = cortana(mixed_dataset, CortanaConfig(depth=2, k=5))
+        assert len(result.patterns) <= 5
+
+    def test_interval_conditions_are_runs_of_bins(self, mixed_dataset):
+        """Every numeric condition must be a contiguous interval."""
+        result = cortana(mixed_dataset, CortanaConfig(depth=1, k=100))
+        for pattern in result.patterns:
+            item = pattern.itemset.item_for("x")
+            if item is not None:
+                assert item.interval.lo < item.interval.hi
+
+    def test_finds_categorical_conditions(self, categorical_dataset):
+        result = cortana(categorical_dataset, CortanaConfig(depth=1))
+        assert any(
+            "tool = T1" in str(p.itemset) for p in result.patterns
+        )
+
+    def test_redundant_level2_patterns_produced(self, mixed_dataset):
+        """The paper's critique: Cortana keeps conjunctions that add
+        nothing over their level-1 parent (same coverage)."""
+        from repro.core.meaningful import is_redundant
+
+        result = cortana(mixed_dataset, CortanaConfig(depth=2, k=100))
+        level2 = [p for p in result.patterns if len(p.itemset) == 2]
+        assert level2
+        redundant = sum(
+            1 for p in level2 if is_redundant(p, mixed_dataset)
+        )
+        assert redundant > 0
+
+    def test_stats_recorded(self, mixed_dataset):
+        result = cortana(mixed_dataset, CortanaConfig(depth=1))
+        assert result.stats.partitions_evaluated > 0

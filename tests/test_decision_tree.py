@@ -1,0 +1,143 @@
+"""Tests for the CART baseline and its pattern extraction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decision_tree import (
+    DecisionTree,
+    TreeConfig,
+    tree_patterns,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _dataset(x, groups, extra=None):
+    attrs = [Attribute.continuous("x")]
+    cols = {"x": np.asarray(x, dtype=float)}
+    if extra is not None:
+        attrs.append(Attribute.continuous("y"))
+        cols["y"] = np.asarray(extra, dtype=float)
+    return Dataset(
+        Schema.of(attrs), cols, np.asarray(groups, dtype=np.int64),
+        ["G0", "G1"],
+    )
+
+
+class TestFit:
+    def test_separable_data_perfect_accuracy(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        groups = rng.integers(0, 2, n)
+        x = np.where(groups == 0, rng.uniform(0, 0.5, n),
+                     rng.uniform(0.5, 1, n))
+        ds = _dataset(x, groups)
+        tree = DecisionTree().fit(ds)
+        assert tree.accuracy(ds) > 0.99
+        assert tree.depth() >= 1
+
+    def test_pure_node_stops(self):
+        ds = _dataset([1.0, 2.0, 3.0, 4.0] * 10, [0] * 40)
+        # one-group data is degenerate for Dataset (needs 2 labels), so
+        # craft group codes all zero with two labels
+        tree = DecisionTree().fit(ds)
+        assert tree.root.is_leaf
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(1)
+        n = 60
+        groups = rng.integers(0, 2, n)
+        x = rng.uniform(0, 1, n)
+        ds = _dataset(x, groups)
+        config = TreeConfig(min_samples_leaf=25, max_depth=6)
+        tree = DecisionTree(config).fit(ds)
+
+        def check(node):
+            if node is None:
+                return
+            assert node.n_samples >= 1
+            if not node.is_leaf:
+                assert node.left.n_samples >= 25 or node.left.is_leaf
+            check(node.left)
+            check(node.right)
+
+        check(tree.root)
+
+    def test_categorical_split(self):
+        rng = np.random.default_rng(2)
+        n = 300
+        groups = rng.integers(0, 2, n)
+        cat = np.where(
+            groups == 1,
+            rng.choice(3, n, p=[0.8, 0.1, 0.1]),
+            rng.choice(3, n, p=[0.1, 0.45, 0.45]),
+        )
+        schema = Schema.of([Attribute.categorical("c", ["a", "b", "c"])])
+        ds = Dataset(schema, {"c": cat}, groups, ["G0", "G1"])
+        tree = DecisionTree().fit(ds)
+        assert tree.accuracy(ds) > 0.75
+        assert tree.root.attribute == "c"
+
+    def test_predict_requires_fit(self):
+        ds = _dataset([1.0, 2.0], [0, 1])
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(ds)
+
+
+class TestGreedyLimitation:
+    def test_xor_defeats_shallow_greedy_tree(self):
+        """The paper's Section 1 argument: greedy trees struggle on XOR
+        because no single split improves purity, while SDAD-CS finds the
+        joint boxes directly."""
+        rng = np.random.default_rng(3)
+        n = 2000
+        a = rng.uniform(0, 1, n)
+        b = rng.uniform(0, 1, n)
+        groups = ((a < 0.5) ^ (b < 0.5)).astype(np.int64)
+        ds = _dataset(a, groups, extra=b)
+
+        depth1 = DecisionTree(TreeConfig(max_depth=1)).fit(ds)
+        assert depth1.accuracy(ds) < 0.6  # no single split helps
+
+        from repro.core.config import MinerConfig
+        from repro.core.items import Itemset
+        from repro.core.sdad import sdad_cs
+
+        joint = sdad_cs(ds, Itemset(), ["x", "y"], MinerConfig(k=20))
+        assert joint.patterns
+        assert max(p.purity_ratio for p in joint.patterns) > 0.9
+
+
+class TestTreePatterns:
+    def test_paths_become_patterns(self):
+        rng = np.random.default_rng(4)
+        n = 500
+        groups = rng.integers(0, 2, n)
+        x = np.where(groups == 0, rng.uniform(0, 0.5, n),
+                     rng.uniform(0.5, 1, n))
+        ds = _dataset(x, groups)
+        tree = DecisionTree(TreeConfig(max_depth=2)).fit(ds)
+        patterns = tree_patterns(tree, ds)
+        assert patterns
+        # every extracted pattern must verify against the data
+        for pattern in patterns:
+            mask = pattern.itemset.cover(ds)
+            counts = tuple(int(c) for c in ds.group_counts(mask))
+            assert counts == pattern.counts
+
+    def test_tree_yields_fewer_patterns_than_miner(self, mixed_dataset):
+        """One greedy hierarchy vs all contrasts: the tree's path set is
+        smaller than the mined meaningful set plus raw variants."""
+        from repro import ContrastSetMiner, MinerConfig
+
+        tree = DecisionTree(TreeConfig(max_depth=3)).fit(mixed_dataset)
+        paths = tree_patterns(tree, mixed_dataset)
+        mined = ContrastSetMiner(
+            MinerConfig(k=100, max_tree_depth=2).no_pruning()
+        ).mine(mixed_dataset)
+        assert len(paths) <= len(mined.patterns)
+
+    def test_requires_fit(self):
+        ds = _dataset([1.0, 2.0], [0, 1])
+        with pytest.raises(RuntimeError):
+            tree_patterns(DecisionTree(), ds)

@@ -1,0 +1,165 @@
+"""Tests for repro.baselines.discretizers (shared binning plumbing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.discretizers import (
+    Binning,
+    DiscretizedView,
+    equal_frequency_cuts,
+)
+from repro.core.items import CategoricalItem, Itemset
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+class TestBinning:
+    def test_n_bins(self):
+        binning = Binning("x", (1.0, 2.0), 0.0, 3.0)
+        assert binning.n_bins == 3
+
+    def test_intervals_tile_range(self):
+        binning = Binning("x", (1.0, 2.0), 0.0, 3.0)
+        intervals = binning.intervals()
+        assert intervals[0].lo == 0.0 and intervals[0].lo_closed
+        assert intervals[-1].hi == 3.0
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.hi == b.lo
+
+    def test_assign_respects_right_closed(self):
+        binning = Binning("x", (1.0,), 0.0, 2.0)
+        values = np.array([0.5, 1.0, 1.5])
+        assert list(binning.assign(values)) == [0, 0, 1]
+
+    def test_assignment_matches_interval_cover(self):
+        binning = Binning("x", (0.7, 1.4), 0.0, 2.0)
+        values = np.linspace(0, 2, 21)
+        ids = binning.assign(values)
+        intervals = binning.intervals()
+        for value, bin_id in zip(values, ids):
+            assert intervals[bin_id].contains(value)
+
+    def test_unsorted_cuts_rejected(self):
+        with pytest.raises(ValueError):
+            Binning("x", (2.0, 1.0), 0.0, 3.0)
+
+    def test_cut_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            Binning("x", (5.0,), 0.0, 3.0)
+
+    def test_no_cuts_single_bin(self):
+        binning = Binning("x", (), 0.0, 1.0)
+        assert binning.n_bins == 1
+        assert binning.assign(np.array([0.5])).tolist() == [0]
+
+    def test_labels_match_intervals(self):
+        binning = Binning("x", (1.0,), 0.0, 2.0)
+        assert binning.labels() == ["[0, 1]", "(1, 2]"]
+
+
+class TestEqualFrequencyCuts:
+    def test_quartiles(self):
+        values = np.arange(100, dtype=float)
+        cuts = equal_frequency_cuts(values, 4)
+        assert len(cuts) == 3
+        binning = Binning("x", cuts, 0.0, 99.0)
+        counts = np.bincount(binning.assign(values))
+        assert all(20 <= c <= 30 for c in counts)
+
+    def test_heavy_ties_collapse(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        cuts = equal_frequency_cuts(values, 4)
+        assert len(cuts) <= 1
+
+    def test_single_bin(self):
+        assert equal_frequency_cuts(np.arange(10.0), 1) == ()
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            equal_frequency_cuts(np.arange(10.0), 0)
+
+    def test_empty_values(self):
+        assert equal_frequency_cuts(np.array([]), 4) == ()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=5, max_size=200
+    ),
+    n_bins=st.integers(2, 10),
+)
+def test_assignment_is_total_and_ordered(data, n_bins):
+    """Property: every value lands in exactly one bin and bin ids are
+    monotone in the value."""
+    values = np.asarray(data)
+    cuts = equal_frequency_cuts(values, n_bins)
+    binning = Binning("x", cuts, float(values.min()), float(values.max()))
+    ids = binning.assign(values)
+    assert ids.min() >= 0 and ids.max() <= len(cuts)
+    order = np.argsort(values)
+    assert (np.diff(ids[order]) >= 0).all()
+
+
+class TestDiscretizedView:
+    def _dataset(self):
+        schema = Schema.of(
+            [
+                Attribute.continuous("x"),
+                Attribute.categorical("c", ["a", "b"]),
+            ]
+        )
+        return Dataset(
+            schema,
+            {
+                "x": np.array([0.1, 0.6, 1.1, 1.9]),
+                "c": np.array([0, 1, 0, 1]),
+            },
+            np.array([0, 0, 1, 1]),
+            ["G1", "G2"],
+        )
+
+    def test_materialised_dataset_categorical(self):
+        ds = self._dataset()
+        view = DiscretizedView(ds, {"x": Binning("x", (1.0,), 0.1, 1.9)})
+        attr = view.dataset.attribute("x")
+        assert attr.is_categorical
+        assert attr.cardinality == 2
+        assert list(view.dataset.column("x")) == [0, 0, 1, 1]
+
+    def test_untouched_columns_preserved(self):
+        ds = self._dataset()
+        view = DiscretizedView(ds, {"x": Binning("x", (1.0,), 0.1, 1.9)})
+        assert view.dataset.attribute("c").is_categorical
+        assert list(view.dataset.column("c")) == [0, 1, 0, 1]
+
+    def test_reject_non_continuous(self):
+        ds = self._dataset()
+        with pytest.raises(ValueError):
+            DiscretizedView(ds, {"c": Binning("c", (), 0, 1)})
+
+    def test_restore_pattern_counts_match(self):
+        ds = self._dataset()
+        view = DiscretizedView(ds, {"x": Binning("x", (1.0,), 0.1, 1.9)})
+        binned_itemset = Itemset([CategoricalItem("x", "[0.1, 1]")])
+        from repro.core.contrast import evaluate_itemset
+
+        binned = evaluate_itemset(binned_itemset, view.dataset)
+        restored = view.restore_pattern(binned)
+        assert restored.counts == binned.counts
+        item = restored.itemset.item_for("x")
+        assert item.interval.lo == pytest.approx(0.1)
+        assert item.interval.hi == pytest.approx(1.0)
+
+    def test_restore_keeps_plain_categorical_items(self):
+        ds = self._dataset()
+        view = DiscretizedView(ds, {"x": Binning("x", (1.0,), 0.1, 1.9)})
+        from repro.core.contrast import evaluate_itemset
+
+        binned = evaluate_itemset(
+            Itemset([CategoricalItem("c", "a")]), view.dataset
+        )
+        restored = view.restore_pattern(binned)
+        assert restored.itemset.item_for("c") == CategoricalItem("c", "a")

@@ -1,0 +1,152 @@
+"""Miscellaneous edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro.analysis.report import timing_table
+from repro.core.config import MinerConfig as Config
+from repro.core.items import CategoricalItem, Itemset
+from repro.core.search import SearchEngine
+
+
+class TestSearchEdges:
+    def test_chi2_unreachable_candidates_pruned(self):
+        """A categorical value too rare for significance anywhere must be
+        cut by the chi-square optimistic bound, not expanded."""
+        rng = np.random.default_rng(5)
+        n = 2000
+        group = rng.integers(0, 2, n)
+        # value "rare" appears ~8 times, independent of group
+        c = np.where(
+            rng.uniform(0, 1, n) < 0.004, 2, rng.integers(0, 2, n)
+        )
+        x = rng.uniform(0, 1, n)
+        schema = Schema.of(
+            [
+                Attribute.categorical("c", ["a", "b", "rare"]),
+                Attribute.continuous("x"),
+            ]
+        )
+        ds = Dataset(schema, {"c": c, "x": x}, group, ["G0", "G1"])
+        engine = SearchEngine(ds, Config(k=20, max_tree_depth=2))
+        engine.run()
+        from repro.core.pruning import PruneReason
+
+        reasons = engine.prune_table.reason_counts()
+        pruned_kinds = set(reasons)
+        assert pruned_kinds & {
+            PruneReason.EXPECTED_COUNT,
+            PruneReason.OPTIMISTIC_ESTIMATE,
+            PruneReason.MIN_DEVIATION,
+        }
+
+    def test_single_attribute_dataset(self):
+        rng = np.random.default_rng(6)
+        n = 300
+        group = rng.integers(0, 2, n)
+        schema = Schema.of([Attribute.categorical("c", ["a", "b"])])
+        c = np.where(group == 1, 0, rng.integers(0, 2, n))
+        ds = Dataset(schema, {"c": c}, group, ["G0", "G1"])
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns
+        assert all(len(p.itemset) == 1 for p in result.patterns)
+
+    def test_depth_larger_than_attribute_count(self, mixed_dataset):
+        config = MinerConfig(k=10, max_tree_depth=50)
+        result = ContrastSetMiner(config).mine(mixed_dataset)
+        assert result.patterns  # clamped, no crash
+
+    def test_duplicate_rows_dataset(self):
+        """Heavy row duplication (few unique values) must not break the
+        median recursion."""
+        rng = np.random.default_rng(7)
+        n = 400
+        group = rng.integers(0, 2, n)
+        x = np.where(group == 1, 2.0, rng.choice([0.0, 1.0], n))
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(schema, {"x": x}, group, ["G0", "G1"])
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns
+        best = result.patterns[0]
+        assert best.support_difference > 0.9
+
+
+class TestReportEdges:
+    def test_timing_table_missing_algorithm(self, mixed_dataset):
+        from repro.analysis import compare_algorithms
+
+        comparison = compare_algorithms(
+            mixed_dataset,
+            "fixture",
+            algorithms=("sdad_np",),
+            config=MinerConfig(k=10, max_tree_depth=1),
+        )
+        text = timing_table([comparison], ("sdad_np", "nonexistent"))
+        assert "-" in text  # the missing column renders placeholders
+
+
+class TestMinerEdges:
+    def test_tiny_dataset(self):
+        """Datasets too small for significance return no patterns
+        rather than spurious ones."""
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.array([0.1, 0.2, 0.8, 0.9])},
+            np.array([0, 0, 1, 1]),
+            ["A", "B"],
+        )
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns == []
+
+    def test_identical_columns(self):
+        """Perfectly correlated attributes: the CLT redundancy rule keeps
+        the cross-products out of the meaningful output."""
+        rng = np.random.default_rng(8)
+        n = 1000
+        group = rng.integers(0, 2, n)
+        x = np.where(
+            group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1, n)
+        )
+        schema = Schema.of(
+            [Attribute.continuous("x1"), Attribute.continuous("x2")]
+        )
+        ds = Dataset(schema, {"x1": x, "x2": x}, group, ["A", "B"])
+        result = ContrastSetMiner(MinerConfig(k=40)).mine(ds)
+        meaningful = result.meaningful()
+        assert meaningful
+        # no meaningful pattern should need both copies
+        assert all(len(p.itemset) == 1 for p in meaningful)
+
+    def test_extreme_imbalance(self):
+        """A 2% minority group (the Figure 2 regime) still mines."""
+        rng = np.random.default_rng(9)
+        n = 3000
+        group = (rng.uniform(0, 1, n) < 0.02).astype(np.int64)
+        x = np.where(
+            group == 1, rng.uniform(0.8, 1.0, n), rng.uniform(0, 1, n)
+        )
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(schema, {"x": x}, group, ["B", "A"])
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns
+        best = max(result.patterns, key=lambda p: p.support("A"))
+        assert best.support("A") > 0.8
+
+
+class TestItemsetEdges:
+    def test_partitions_of_two_items(self):
+        itemset = Itemset(
+            [CategoricalItem("a", "1"), CategoricalItem("b", "1")]
+        )
+        parts = list(itemset.partitions())
+        assert len(parts) == 1
+        left, right = parts[0]
+        assert {len(left), len(right)} == {1}
+
+    def test_union_conflict_raises(self):
+        a = Itemset([CategoricalItem("x", "1")])
+        b = Itemset([CategoricalItem("x", "2")])
+        with pytest.raises(ValueError):
+            a.union(b)

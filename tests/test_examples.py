@@ -1,0 +1,73 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example is executed in-process (import + ``main()``) with stdout
+captured; the fast ones run in full, the heavier ones are marked slow but
+still included — the suite stays in laptop time.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "Meaningful contrasts" in out
+        assert "temperature" in out
+        assert "machine = M3" in out
+
+    def test_csv_workflow(self, capsys):
+        out = _run_example("csv_workflow", capsys)
+        assert "SLA breaches" in out
+        assert "shift = night" in out
+
+    def test_streaming_monitor(self, capsys):
+        out = _run_example("streaming_monitor", capsys)
+        assert "EMERGED" in out
+        assert "lane = L3" in out or "oven_temp" in out
+
+    def test_tree_vs_mining(self, capsys):
+        out = _run_example("tree_vs_mining", capsys)
+        assert "XOR" in out
+        assert "SDAD-CS joint search: 4 contrasts" in out
+
+    def test_clinical_screening(self, capsys):
+        out = _run_example("clinical_screening", capsys)
+        assert "holdout validation" in out
+        assert "Clinical briefing" in out
+
+    @pytest.mark.slow
+    def test_adult_analysis(self, capsys):
+        out = _run_example("adult_analysis", capsys)
+        assert "Figure 4 style histogram" in out
+        assert "SDAD-CS with purity_ratio" in out
+
+    @pytest.mark.slow
+    def test_manufacturing_case_study(self, capsys):
+        out = _run_example("manufacturing_case_study", capsys)
+        assert "Table 7 style" in out
+        assert "Planted failure signals surfaced" in out
+
+    @pytest.mark.slow
+    def test_simulated_survey(self, capsys):
+        out = _run_example("simulated_survey", capsys)
+        assert "simulated_dataset_4" in out

@@ -1,0 +1,172 @@
+"""Tests for pattern explanations and holdout validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro.analysis.explain import briefing, explain_pattern
+from repro.analysis.validation import validate_patterns
+from repro.core.contrast import ContrastPattern
+from repro.core.items import (
+    CategoricalItem,
+    Interval,
+    Itemset,
+    NumericItem,
+)
+from repro.dataset.sampling import train_holdout_split
+
+
+def _pattern(items, counts, sizes=(100, 100), labels=("ok", "bad")):
+    return ContrastPattern(
+        itemset=Itemset(items),
+        counts=counts,
+        group_sizes=sizes,
+        group_labels=labels,
+    )
+
+
+class TestExplainPattern:
+    def test_categorical_phrase(self):
+        p = _pattern([CategoricalItem("tool", "T1")], (10, 60))
+        text = explain_pattern(p).headline
+        assert "tool is T1" in text
+        assert "'bad'" in text
+
+    def test_bounded_interval_phrase(self):
+        p = _pattern(
+            [NumericItem("temp", Interval(80.0, 95.0))], (10, 60)
+        )
+        assert "between 80 and 95" in explain_pattern(p).headline
+
+    def test_half_open_interval_phrases(self):
+        low = _pattern(
+            [NumericItem("temp", Interval(-math.inf, 50.0))], (60, 10)
+        )
+        assert "at most 50" in explain_pattern(low).headline
+        high = _pattern(
+            [NumericItem("temp", Interval(50.0, math.inf, False, False))],
+            (60, 10),
+        )
+        assert "above 50" in explain_pattern(high).headline
+
+    def test_effect_ratio(self):
+        p = _pattern([CategoricalItem("t", "a")], (10, 60))
+        explanation = explain_pattern(p)
+        assert explanation.effect_ratio == pytest.approx(6.0)
+
+    def test_exclusive_pattern(self):
+        p = _pattern([CategoricalItem("t", "a")], (0, 60))
+        explanation = explain_pattern(p)
+        assert "exclusively" in explanation.headline
+        assert explanation.effect_ratio == 999.0
+
+    def test_detail_includes_stats(self):
+        p = _pattern([CategoricalItem("t", "a")], (10, 60))
+        detail = explain_pattern(p).detail
+        assert "support difference 0.50" in detail
+        assert "p-value" in detail
+
+    def test_multi_item_conjunction(self):
+        p = _pattern(
+            [
+                CategoricalItem("tool", "T1"),
+                NumericItem("temp", Interval(80.0, 95.0)),
+            ],
+            (5, 50),
+        )
+        head = explain_pattern(p).headline
+        assert " and " in head
+
+
+class TestBriefing:
+    def test_groups_sections(self):
+        patterns = [
+            _pattern([CategoricalItem("t", "a")], (10, 60)),
+            _pattern([CategoricalItem("t", "b")], (70, 20)),
+        ]
+        text = briefing(patterns)
+        assert "Characteristic of 'bad':" in text
+        assert "Characteristic of 'ok':" in text
+
+    def test_empty(self):
+        assert "No significant contrasts" in briefing([])
+
+    def test_max_items(self):
+        patterns = [
+            _pattern([CategoricalItem("t", f"v{i}")], (10, 60))
+            for i in range(8)
+        ]
+        # trick: different itemsets, same stats
+        text = briefing(patterns, max_items=3)
+        assert "  3. " in text
+        assert "  4. " not in text
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        rng = np.random.default_rng(77)
+        n = 2000
+        group = rng.integers(0, 2, n)
+        x = np.where(
+            group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1, n)
+        )
+        noise = rng.uniform(0, 1, n)
+        schema = Schema.of(
+            [Attribute.continuous("x"), Attribute.continuous("noise")]
+        )
+        ds = Dataset(
+            schema, {"x": x, "noise": noise}, group, ["A", "B"]
+        )
+        return train_holdout_split(ds, 0.4, seed=1)
+
+    def test_real_patterns_survive(self, splits):
+        train, holdout = splits
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(train)
+        report = validate_patterns(result.patterns, holdout)
+        assert report.n_patterns > 0
+        # the strong planted x-contrasts survive
+        strong = [
+            v
+            for v in report.validations
+            if v.train_difference > 0.5
+        ]
+        assert strong
+        assert all(v.survived for v in strong)
+        assert report.survival_rate > 0.4
+
+    def test_shrinkage_near_one_for_real_effects(self, splits):
+        train, holdout = splits
+        result = ContrastSetMiner(MinerConfig(k=5)).mine(
+            train, attributes=["x"]
+        )
+        report = validate_patterns(result.patterns, holdout)
+        assert report.mean_shrinkage == pytest.approx(1.0, abs=0.15)
+
+    def test_direction_check(self, splits):
+        train, holdout = splits
+        result = ContrastSetMiner(MinerConfig(k=5)).mine(
+            train, attributes=["x"]
+        )
+        flipped = validate_patterns(
+            result.patterns, holdout, same_direction=True
+        )
+        relaxed = validate_patterns(
+            result.patterns, holdout, same_direction=False
+        )
+        assert flipped.n_survived <= relaxed.n_survived
+
+    def test_empty_patterns(self, splits):
+        __, holdout = splits
+        report = validate_patterns([], holdout)
+        assert report.n_patterns == 0
+        assert report.survival_rate == 0.0
+        assert "0/0" in report.formatted()
+
+    def test_survivors_list(self, splits):
+        train, holdout = splits
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(train)
+        report = validate_patterns(result.patterns, holdout)
+        assert len(report.survivors()) == report.n_survived

@@ -1,0 +1,113 @@
+"""Tests for the Fayyad-Irani entropy/MDLP discretizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fayyad import (
+    entropy,
+    fayyad_binning,
+    fayyad_discretize,
+    information_gain,
+    mdlp_criterion,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.array([10, 0])) == 0.0
+
+    def test_uniform_is_log2(self):
+        assert entropy(np.array([5, 5])) == pytest.approx(1.0)
+        assert entropy(np.array([4, 4, 4, 4])) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([0, 0])) == 0.0
+
+
+class TestInformationGain:
+    def test_perfect_split(self):
+        left = np.zeros(50, dtype=int)
+        right = np.ones(50, dtype=int)
+        assert information_gain(left, right, 2) == pytest.approx(1.0)
+
+    def test_useless_split(self):
+        left = np.array([0, 1] * 25)
+        right = np.array([0, 1] * 25)
+        assert information_gain(left, right, 2) == pytest.approx(0.0)
+
+
+class TestMDLP:
+    def test_accepts_clean_split(self):
+        left = np.zeros(200, dtype=int)
+        right = np.ones(200, dtype=int)
+        assert mdlp_criterion(left, right, 2)
+
+    def test_rejects_random_split(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 2, 200)
+        right = rng.integers(0, 2, 200)
+        assert not mdlp_criterion(left, right, 2)
+
+    def test_tiny_samples_rejected(self):
+        assert not mdlp_criterion(np.array([0]), np.array([]), 2)
+
+
+def _planted(n=1000, boundary=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    group = rng.integers(0, 2, n)
+    x = np.where(
+        group == 0,
+        rng.uniform(0, boundary, n),
+        rng.uniform(boundary, 1, n),
+    )
+    noise = rng.uniform(0, 1, n)
+    schema = Schema.of(
+        [Attribute.continuous("x"), Attribute.continuous("noise")]
+    )
+    return Dataset(
+        schema, {"x": x, "noise": noise}, group, ["A", "B"]
+    )
+
+
+class TestFayyadBinning:
+    def test_finds_planted_boundary(self):
+        ds = _planted()
+        binning = fayyad_binning(ds, "x")
+        assert binning.cuts
+        assert min(abs(c - 0.4) for c in binning.cuts) < 0.02
+
+    def test_no_cut_in_noise(self):
+        ds = _planted()
+        binning = fayyad_binning(ds, "noise")
+        assert binning.cuts == ()
+
+    def test_constant_column(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.ones(100)},
+            np.array([0, 1] * 50),
+            ["A", "B"],
+        )
+        assert fayyad_binning(ds, "x").cuts == ()
+
+    def test_discretize_all(self):
+        ds = _planted()
+        view = fayyad_discretize(ds)
+        assert set(view.binnings) == {"x", "noise"}
+        assert view.dataset.attribute("x").is_categorical
+
+    def test_multi_boundary(self):
+        """Three class-bands along x need two cuts."""
+        rng = np.random.default_rng(2)
+        n = 1500
+        x = rng.uniform(0, 3, n)
+        group = (x.astype(int) % 2).astype(np.int64)  # bands 0,1,2 -> 0,1,0
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(schema, {"x": x}, group, ["A", "B"])
+        binning = fayyad_binning(ds, "x")
+        assert len(binning.cuts) >= 2
+        assert min(abs(c - 1.0) for c in binning.cuts) < 0.05
+        assert min(abs(c - 2.0) for c in binning.cuts) < 0.05

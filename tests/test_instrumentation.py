@@ -1,0 +1,106 @@
+"""Tests for MiningStats / Stopwatch and multi-group mining paths."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro.core.instrumentation import MiningStats, Stopwatch
+
+
+class TestMiningStats:
+    def test_defaults(self):
+        stats = MiningStats()
+        assert stats.partitions_evaluated == 0
+        assert stats.elapsed_seconds == 0.0
+
+    def test_merge_from(self):
+        a = MiningStats(partitions_evaluated=5, spaces_pruned=2,
+                        sdad_calls=1, merges_performed=3,
+                        candidates_generated=7, nodes_expanded=4)
+        b = MiningStats(partitions_evaluated=10, spaces_pruned=1,
+                        sdad_calls=2, merges_performed=0,
+                        candidates_generated=3, nodes_expanded=6)
+        a.merge_from(b)
+        assert a.partitions_evaluated == 15
+        assert a.spaces_pruned == 3
+        assert a.sdad_calls == 3
+        assert a.merges_performed == 3
+        assert a.candidates_generated == 10
+        assert a.nodes_expanded == 10
+
+    def test_merge_does_not_touch_elapsed(self):
+        a = MiningStats(elapsed_seconds=1.0)
+        a.merge_from(MiningStats(elapsed_seconds=2.0))
+        assert a.elapsed_seconds == 1.0
+
+
+class TestStopwatch:
+    def test_accumulates_time(self):
+        stats = MiningStats()
+        with Stopwatch(stats):
+            time.sleep(0.01)
+        first = stats.elapsed_seconds
+        assert first >= 0.01
+        with Stopwatch(stats):
+            time.sleep(0.01)
+        assert stats.elapsed_seconds >= first + 0.01
+
+    def test_records_on_exception(self):
+        stats = MiningStats()
+        with pytest.raises(RuntimeError):
+            with Stopwatch(stats):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert stats.elapsed_seconds >= 0.005
+
+
+class TestThreeGroupMining:
+    """The k-group paths: contingency tests, max-pairwise difference,
+    dominant group selection."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        rng = np.random.default_rng(31)
+        n = 1500
+        group = rng.integers(0, 3, n)
+        # each group occupies its own x band
+        x = rng.uniform(0, 1, n) / 3 + group / 3.0
+        cat = rng.integers(0, 2, n)
+        schema = Schema.of(
+            [
+                Attribute.continuous("x"),
+                Attribute.categorical("c", ["u", "v"]),
+            ]
+        )
+        return Dataset(
+            schema, {"x": x, "c": cat}, group, ["low", "mid", "high"]
+        )
+
+    def test_mining_three_groups(self, dataset):
+        result = ContrastSetMiner(MinerConfig(k=20)).mine(dataset)
+        assert result.patterns
+        best = result.patterns[0]
+        assert best.support_difference > 0.8
+        assert len(best.supports) == 3
+
+    def test_dominant_group_per_band(self, dataset):
+        result = ContrastSetMiner(MinerConfig(k=30)).mine(dataset)
+        dominants = {p.dominant_group for p in result.patterns[:6]}
+        # the bands should surface contrasts for multiple groups
+        assert len(dominants) >= 2
+
+    def test_pairwise_narrowing_matches(self, dataset):
+        """Mining a selected pair behaves like a fresh 2-group dataset."""
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(
+            dataset, groups=("low", "high")
+        )
+        assert result.dataset.n_groups == 2
+        assert result.patterns
+        assert result.patterns[0].support_difference > 0.9
+
+    def test_chi_square_dof_for_three_groups(self, dataset):
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(dataset)
+        best = result.patterns[0]
+        assert best.chi_square.dof == 2

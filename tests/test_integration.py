@@ -1,0 +1,168 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise complete pipelines — data generation, mining,
+baselines, filtering, reporting — on realistic scenarios, verifying the
+pieces compose the way the examples and benches use them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.analysis import (
+    census,
+    compare_algorithms,
+    pattern_table,
+    run_algorithm,
+)
+from repro.core.meaningful import classify_patterns
+from repro.dataset import synthetic, uci
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.manufacturing import manufacturing
+
+
+class TestFullPipeline:
+    def test_mine_filter_report_roundtrip(self, mixed_dataset):
+        """mine -> meaningful -> render, then re-verify every printed
+        pattern's supports against the raw data."""
+        result = ContrastSetMiner(MinerConfig(k=20)).mine(mixed_dataset)
+        meaningful = result.meaningful()
+        text = pattern_table(meaningful)
+        assert str(len(meaningful)) or text  # renders without error
+        for pattern in meaningful:
+            mask = pattern.itemset.cover(mixed_dataset)
+            counts = tuple(
+                int(c) for c in mixed_dataset.group_counts(mask)
+            )
+            assert counts == pattern.counts
+
+    def test_csv_then_mine(self, tmp_path, mixed_dataset):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_dataset, path)
+        loaded = read_csv(path, group_column="group")
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(loaded)
+        assert result.patterns
+        best = result.patterns[0]
+        assert best.support_difference > 0.8  # planted x contrast
+
+    def test_multigroup_narrowing(self):
+        """3-group data narrowed to a pair behaves like 2-group data."""
+        rng = np.random.default_rng(10)
+        n = 900
+        group = rng.integers(0, 3, n)
+        x = rng.uniform(0, 1, n) + (group == 2) * 1.5
+        from repro import Attribute, Dataset, Schema
+
+        ds = Dataset(
+            Schema.of([Attribute.continuous("x")]),
+            {"x": x},
+            group,
+            ["A", "B", "C"],
+        )
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(
+            ds, groups=("B", "C")
+        )
+        assert result.patterns
+        assert result.patterns[0].support_difference > 0.8
+        # A vs B: no contrast exists
+        null_result = ContrastSetMiner(MinerConfig(k=10)).mine(
+            ds, groups=("A", "B")
+        )
+        assert null_result.patterns == []
+
+
+class TestAlgorithmAgreementOnStrongSignal:
+    """On a clean planted boundary, every pipeline should locate it."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return synthetic.simulated_dataset_3()
+
+    @pytest.mark.parametrize("name", ["sdad", "sdad_np", "mvd", "entropy",
+                                      "cortana"])
+    def test_boundary_found(self, dataset, name):
+        result = run_algorithm(
+            name, dataset, MinerConfig(k=20, max_tree_depth=1)
+        )
+        assert result.patterns
+        boundaries = []
+        for pattern in result.patterns:
+            item = pattern.itemset.item_for("Attribute 1")
+            if item is not None:
+                boundaries.extend(
+                    [item.interval.lo, item.interval.hi]
+                )
+        assert any(abs(b - 0.5) < 0.05 for b in boundaries), name
+
+
+class TestNPvsFullContract:
+    """SDAD-CS NP must be a superset machine: same engine, more output."""
+
+    def test_np_keeps_everything_full_finds(self, mixed_dataset):
+        config = MinerConfig(k=200, max_tree_depth=2)
+        full = ContrastSetMiner(config).mine(mixed_dataset)
+        np_run = ContrastSetMiner(config.no_pruning()).mine(mixed_dataset)
+        assert len(np_run.patterns) >= len(full.patterns)
+        # every meaningful pattern of the full run appears in NP's output
+        # up to boundary-identical itemsets
+        np_sets = {p.itemset for p in np_run.patterns}
+        missing = [
+            p
+            for p in full.meaningful()
+            if p.itemset not in np_sets
+        ]
+        assert not missing
+
+    def test_np_work_is_strictly_more(self, mixed_dataset):
+        config = MinerConfig(k=50, max_tree_depth=2)
+        full = ContrastSetMiner(config).mine(mixed_dataset)
+        np_run = ContrastSetMiner(config.no_pruning()).mine(mixed_dataset)
+        assert (
+            np_run.stats.partitions_evaluated
+            >= full.stats.partitions_evaluated
+        )
+
+
+class TestManufacturingEndToEnd:
+    def test_compact_actionable_output(self):
+        """The Section 6 deliverable: a small meaningful set that names
+        the planted root cause."""
+        dataset = manufacturing(n_population=1500, n_failed=220)
+        config = MinerConfig(k=40, max_tree_depth=1)
+        result = ContrastSetMiner(config).mine(dataset)
+        meaningful = result.meaningful()
+        assert 0 < len(meaningful) <= 40
+        top_text = " ".join(
+            str(p.itemset) for p in meaningful[:10]
+        )
+        assert "SCE" in top_text or "JVF" in top_text
+
+
+class TestComparisonProtocolsCompose:
+    def test_table4_then_table6_same_dataset(self):
+        dataset = uci.transfusion()
+        comparison = compare_algorithms(
+            dataset,
+            "transfusion",
+            algorithms=("sdad_np", "entropy"),
+            config=MinerConfig(k=30, max_tree_depth=2),
+        )
+        counts = census(
+            dataset,
+            "transfusion",
+            config=MinerConfig(k=30, max_tree_depth=2),
+            top=30,
+        )
+        assert comparison.rows["sdad_np"].n_found >= counts.n_patterns > 0
+
+    def test_meaningfulness_of_baseline_output(self, mixed_dataset):
+        """The meaningful filters apply to any algorithm's patterns."""
+        result = run_algorithm(
+            "cortana", mixed_dataset, MinerConfig(k=40, max_tree_depth=2)
+        )
+        report = classify_patterns(result.top(20), mixed_dataset)
+        assert report.n_meaningful + report.n_meaningless == len(
+            result.top(20)
+        )
+        # redundant stacked conditions must be flagged
+        assert report.n_meaningless > 0

@@ -1,0 +1,128 @@
+"""Tests for repro.dataset.io (CSV round-trips, schema inference)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.io import infer_schema, read_csv, write_csv
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset, DatasetError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "age,color,label\n"
+        "25,red,yes\n"
+        "31,blue,no\n"
+        "47.5,red,yes\n"
+        "19,green,no\n"
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_basic_read(self, csv_file):
+        ds = read_csv(csv_file, group_column="label")
+        assert ds.n_rows == 4
+        assert ds.schema["age"].is_continuous
+        assert ds.schema["color"].is_categorical
+        assert set(ds.group_labels) == {"yes", "no"}
+
+    def test_values_parsed(self, csv_file):
+        ds = read_csv(csv_file, group_column="label")
+        assert ds.column("age")[2] == pytest.approx(47.5)
+        color = ds.attribute("color")
+        assert color.label_of(int(ds.column("color")[1])) == "blue"
+
+    def test_missing_rows_dropped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("x,g\n1,A\n?,B\n3,A\n")
+        ds = read_csv(path, group_column="g")
+        assert ds.n_rows == 2
+
+    def test_missing_raises_when_not_dropping(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("x,g\n1,A\n?,B\n")
+        with pytest.raises(DatasetError, match="missing"):
+            read_csv(path, group_column="g", drop_missing=False)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,g\n1,A,extra\n")
+        with pytest.raises(DatasetError, match="fields"):
+            read_csv(path, group_column="g")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            read_csv(path, group_column="g")
+
+    def test_all_rows_missing_rejected(self, tmp_path):
+        path = tmp_path / "allmiss.csv"
+        path.write_text("x,g\n?,A\n")
+        with pytest.raises(DatasetError, match="no complete rows"):
+            read_csv(path, group_column="g")
+
+    def test_missing_group_column(self, tmp_path):
+        path = tmp_path / "nog.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(DatasetError, match="group column"):
+            read_csv(path, group_column="g")
+
+    def test_explicit_schema(self, csv_file):
+        schema = Schema.of(
+            [Attribute.categorical("color", ["red", "blue", "green"])]
+        )
+        ds = read_csv(csv_file, group_column="label", schema=schema)
+        assert ds.schema.names == ("color",)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "tsv.tsv"
+        path.write_text("x\tg\n1\tA\n2\tB\n")
+        ds = read_csv(path, group_column="g", delimiter="\t")
+        assert ds.n_rows == 2
+
+
+class TestInferSchema:
+    def test_numeric_column(self):
+        schema = infer_schema(
+            ["x", "g"], [["1.5", "A"], ["2", "B"]], "g"
+        )
+        assert schema["x"].is_continuous
+
+    def test_mixed_column_is_categorical(self):
+        schema = infer_schema(
+            ["x", "g"], [["1.5", "A"], ["oops", "B"]], "g"
+        )
+        assert schema["x"].is_categorical
+
+    def test_category_order_first_appearance(self):
+        schema = infer_schema(
+            ["c", "g"], [["z", "A"], ["a", "B"], ["z", "A"]], "g"
+        )
+        assert schema["c"].categories == ("z", "a")
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, mixed_dataset):
+        path = tmp_path / "roundtrip.csv"
+        write_csv(mixed_dataset, path)
+        loaded = read_csv(path, group_column="group")
+        assert loaded.n_rows == mixed_dataset.n_rows
+        assert set(loaded.group_labels) == set(mixed_dataset.group_labels)
+        np.testing.assert_allclose(
+            np.sort(loaded.column("x")),
+            np.sort(mixed_dataset.column("x")),
+        )
+
+    def test_roundtrip_preserves_group_counts(self, tmp_path, mixed_dataset):
+        path = tmp_path / "roundtrip.csv"
+        write_csv(mixed_dataset, path)
+        loaded = read_csv(path, group_column="group")
+        original = dict(
+            zip(mixed_dataset.group_labels, mixed_dataset.group_sizes)
+        )
+        reloaded = dict(zip(loaded.group_labels, loaded.group_sizes))
+        assert original == reloaded

@@ -1,0 +1,277 @@
+"""Tests for repro.core.items (intervals, items, itemsets)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.items import (
+    CategoricalItem,
+    Interval,
+    Itemset,
+    NumericItem,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _dataset():
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.categorical("c", ["a", "b"]),
+        ]
+    )
+    return Dataset(
+        schema,
+        {
+            "x": np.array([0.0, 0.25, 0.5, 0.75, 1.0]),
+            "c": np.array([0, 0, 1, 1, 0]),
+        },
+        np.array([0, 0, 0, 1, 1]),
+        ["G1", "G2"],
+    )
+
+
+class TestInterval:
+    def test_default_closure(self):
+        iv = Interval(0.0, 1.0)
+        assert not iv.lo_closed and iv.hi_closed
+
+    def test_contains_respects_closure(self):
+        iv = Interval(0.0, 1.0, lo_closed=False, hi_closed=True)
+        assert not iv.contains(0.0)
+        assert iv.contains(1.0)
+        assert iv.contains(0.5)
+        assert not iv.contains(1.5)
+
+    def test_cover_vectorised(self):
+        iv = Interval(0.2, 0.8, lo_closed=True, hi_closed=False)
+        values = np.array([0.1, 0.2, 0.5, 0.8, 0.9])
+        assert list(iv.cover(values)) == [False, True, True, False, False]
+
+    def test_reject_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_reject_nan(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_degenerate_must_be_closed(self):
+        Interval(1.0, 1.0, True, True)  # fine
+        with pytest.raises(ValueError):
+            Interval(1.0, 1.0, False, True)
+
+    def test_infinite_endpoints(self):
+        iv = Interval(-math.inf, 5.0)
+        assert iv.contains(-1e300)
+        assert iv.width == math.inf
+
+    def test_adjacency(self):
+        left = Interval(0.0, 0.5, True, True)
+        right = Interval(0.5, 1.0, False, True)
+        assert left.is_adjacent_to(right)
+        assert right.is_adjacent_to(left)
+
+    def test_not_adjacent_with_gap(self):
+        assert not Interval(0.0, 0.4).is_adjacent_to(Interval(0.5, 1.0))
+
+    def test_merge_adjacent(self):
+        left = Interval(0.0, 0.5, True, True)
+        right = Interval(0.5, 1.0, False, True)
+        merged = left.merge_with(right)
+        assert merged == Interval(0.0, 1.0, True, True)
+
+    def test_merge_order_independent(self):
+        left = Interval(0.0, 0.5, True, True)
+        right = Interval(0.5, 1.0, False, True)
+        assert left.merge_with(right) == right.merge_with(left)
+
+    def test_merge_non_adjacent_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 0.3).merge_with(Interval(0.5, 1.0))
+
+    def test_contains_interval(self):
+        outer = Interval(0.0, 1.0, True, True)
+        inner = Interval(0.2, 0.8)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+
+    def test_contains_interval_boundary_closure(self):
+        open_lo = Interval(0.0, 1.0, False, True)
+        closed_lo = Interval(0.0, 1.0, True, True)
+        assert closed_lo.contains_interval(open_lo)
+        assert not open_lo.contains_interval(closed_lo)
+
+    def test_overlaps(self):
+        assert Interval(0.0, 0.5).overlaps(Interval(0.4, 1.0))
+        assert not Interval(0.0, 0.4).overlaps(Interval(0.5, 1.0))
+        # touching at an open/closed boundary: no shared point
+        left = Interval(0.0, 0.5, True, True)
+        right = Interval(0.5, 1.0, False, True)
+        assert not left.overlaps(right)
+
+    def test_str(self):
+        assert str(Interval(0.0, 1.0, True, True)) == "[0, 1]"
+        assert str(Interval(-math.inf, 3.0)) == "(-inf, 3]"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(-100, 100),
+    b=st.floats(-100, 100),
+    split=st.floats(-100, 100),
+)
+def test_interval_split_merge_roundtrip(a, b, split):
+    """Property: splitting an interval and merging the halves is identity."""
+    lo, hi = min(a, b), max(a, b)
+    if not lo < split < hi:
+        return
+    parent = Interval(lo, hi, True, True)
+    left = Interval(lo, split, True, True)
+    right = Interval(split, hi, False, True)
+    assert left.is_adjacent_to(right)
+    assert left.merge_with(right) == parent
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lo=st.floats(-50, 50),
+    width=st.floats(0.001, 50),
+    value=st.floats(-100, 100),
+)
+def test_split_covers_exactly_parent(lo, width, value):
+    """Property: the two halves of a split partition the parent's points."""
+    hi = lo + width
+    split = lo + width / 2
+    parent = Interval(lo, hi, True, True)
+    left = Interval(lo, split, True, True)
+    right = Interval(split, hi, False, True)
+    in_parent = parent.contains(value)
+    assert (left.contains(value) + right.contains(value)) == (
+        1 if in_parent else 0
+    )
+
+
+class TestItems:
+    def test_categorical_cover(self):
+        ds = _dataset()
+        item = CategoricalItem("c", "a")
+        assert list(item.cover(ds)) == [True, True, False, False, True]
+
+    def test_numeric_cover(self):
+        ds = _dataset()
+        item = NumericItem("x", Interval(0.2, 0.8, True, False))
+        assert list(item.cover(ds)) == [False, True, True, True, False]
+
+    def test_str_forms(self):
+        assert str(CategoricalItem("c", "a")) == "c = a"
+        txt = str(NumericItem("x", Interval(1.0, 2.0)))
+        assert txt == "1 < x <= 2"
+
+
+class TestItemset:
+    def test_canonical_order_and_equality(self):
+        a = CategoricalItem("c", "a")
+        b = NumericItem("x", Interval(0.0, 1.0))
+        assert Itemset([a, b]) == Itemset([b, a])
+        assert hash(Itemset([a, b])) == hash(Itemset([b, a]))
+
+    def test_duplicate_attribute_rejected(self):
+        a = CategoricalItem("c", "a")
+        b = CategoricalItem("c", "b")
+        with pytest.raises(ValueError):
+            Itemset([a, b])
+
+    def test_with_item_and_without(self):
+        base = Itemset([CategoricalItem("c", "a")])
+        bigger = base.with_item(NumericItem("x", Interval(0, 1)))
+        assert len(bigger) == 2
+        assert bigger.without_attribute("x") == base
+
+    def test_empty_itemset(self):
+        empty = Itemset()
+        assert len(empty) == 0
+        assert not empty
+        assert str(empty) == "{}"
+
+    def test_cover_conjunction(self):
+        ds = _dataset()
+        itemset = Itemset(
+            [
+                CategoricalItem("c", "a"),
+                NumericItem("x", Interval(0.1, 1.0, True, True)),
+            ]
+        )
+        assert list(itemset.cover(ds)) == [False, True, False, False, True]
+
+    def test_empty_cover_is_all(self):
+        ds = _dataset()
+        assert Itemset().cover(ds).all()
+
+    def test_subset_relations(self):
+        a = Itemset([CategoricalItem("c", "a")])
+        ab = a.with_item(NumericItem("x", Interval(0, 1)))
+        assert a.is_subset_of(ab)
+        assert a.is_proper_subset_of(ab)
+        assert not ab.is_subset_of(a)
+        assert a.is_subset_of(a)
+        assert not a.is_proper_subset_of(a)
+
+    def test_proper_subsets_count(self):
+        items = [
+            CategoricalItem("a", "1"),
+            CategoricalItem("b", "1"),
+            CategoricalItem("c", "1"),
+        ]
+        subs = list(Itemset(items).proper_subsets())
+        assert len(subs) == 6  # 2^3 - 2
+
+    def test_partitions_cover_all_splits(self):
+        items = [
+            CategoricalItem("a", "1"),
+            CategoricalItem("b", "1"),
+            CategoricalItem("c", "1"),
+        ]
+        itemset = Itemset(items)
+        parts = list(itemset.partitions())
+        assert len(parts) == 3  # 2^(3-1) - 1
+        for left, right in parts:
+            assert len(left) + len(right) == 3
+            assert left.union(right) == itemset
+
+    def test_region_subsumes_numeric(self):
+        wide = Itemset([NumericItem("x", Interval(0.0, 1.0, True, True))])
+        narrow = Itemset([NumericItem("x", Interval(0.2, 0.8))])
+        assert wide.region_subsumes(narrow)
+        assert not narrow.region_subsumes(wide)
+
+    def test_region_subsumes_requires_matching_attrs(self):
+        x = Itemset([NumericItem("x", Interval(0.0, 1.0, True, True))])
+        y = Itemset([NumericItem("y", Interval(0.2, 0.8))])
+        assert not x.region_subsumes(y)
+
+    def test_region_subsumes_with_extra_items(self):
+        wide = Itemset([NumericItem("x", Interval(0.0, 1.0, True, True))])
+        specialised = Itemset(
+            [
+                NumericItem("x", Interval(0.2, 0.8)),
+                CategoricalItem("c", "a"),
+            ]
+        )
+        assert wide.region_subsumes(specialised)
+
+    def test_region_subsumes_categorical_mismatch(self):
+        a = Itemset([CategoricalItem("c", "a")])
+        b = Itemset([CategoricalItem("c", "b")])
+        assert not a.region_subsumes(b)
+        assert a.region_subsumes(a)
+
+    def test_item_for(self):
+        item = CategoricalItem("c", "a")
+        itemset = Itemset([item])
+        assert itemset.item_for("c") == item
+        assert itemset.item_for("nope") is None

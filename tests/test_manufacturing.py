@@ -1,0 +1,118 @@
+"""Tests for the manufacturing case-study generator (Section 6, Table 7)."""
+
+import numpy as np
+import pytest
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.dataset.manufacturing import manufacturing, scaling_dataset
+
+
+class TestManufacturing:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return manufacturing()
+
+    def test_shape(self, ds):
+        assert len(ds.schema) == 148
+        assert len(ds.schema.continuous_names) == 30
+        assert ds.group_labels == ("Population", "Failed")
+
+    def test_cam_entity_signal(self, ds):
+        attr = ds.attribute("CAM entity")
+        supports = ds.supports(
+            ds.column("CAM entity") == attr.code_of("SCE")
+        )
+        # Table 7 row 1: 0.28 vs 0.55
+        assert supports[0] == pytest.approx(0.28, abs=0.06)
+        assert supports[1] > 0.45
+
+    def test_placement_tool_tied_to_cam(self, ds):
+        cam = ds.attribute("CAM entity")
+        tool = ds.attribute("Placement tool")
+        sce = ds.column("CAM entity") == cam.code_of("SCE")
+        jvf = ds.column("Placement tool") == tool.code_of("JVF")
+        # JVF feeds SCE: conditional overlap must be near-total
+        assert (sce & jvf).sum() / max(1, sce.sum()) > 0.9
+
+    def test_rear_row_signal(self, ds):
+        attr = ds.attribute("CAM row location")
+        supports = ds.supports(
+            ds.column("CAM row location") == attr.code_of("Rear")
+        )
+        assert supports[1] > supports[0]
+
+    def test_thermal_windows(self, ds):
+        liq = ds.column("CAM time above liquidus")
+        supports = ds.supports((liq >= 92.0) & (liq <= 92.8))
+        # Table 7: 0.04 vs 0.21
+        assert supports[0] < 0.08
+        assert supports[1] > 0.12
+
+    def test_noise_columns_uninformative(self, ds):
+        values = ds.column("sensor_001")
+        supports = ds.supports(values > np.median(values))
+        assert abs(supports[0] - supports[1]) < 0.08
+
+    def test_miner_surfaces_planted_signals(self, ds):
+        """End-to-end: the miner must rank the planted equipment path at
+        the top despite 140+ noise attributes."""
+        config = MinerConfig(k=30, max_tree_depth=1, delta=0.1)
+        result = ContrastSetMiner(config).mine(ds)
+        top_attrs = {
+            attr
+            for p in result.top(12)
+            for attr in p.itemset.attributes
+        }
+        planted = {
+            "CAM entity",
+            "Placement tool",
+            "CAM row location",
+            "CAM time above liquidus",
+            "CAM Peak temperature",
+            "Die temp above std",
+            "CAM peak temp std",
+        }
+        assert len(top_attrs & planted) >= 4
+
+    def test_custom_sizes(self):
+        ds = manufacturing(n_population=500, n_failed=80)
+        assert ds.group_sizes == (500, 80)
+
+    def test_missing_rate(self):
+        ds = manufacturing(
+            n_population=400, n_failed=60, missing_rate=0.05
+        )
+        assert ds.has_missing
+        rate = ds.missing_mask().mean()
+        # ~1 - (1-0.05)^30 of rows have at least one missing sensor
+        assert rate > 0.3
+
+    def test_mining_with_sensor_dropouts(self):
+        ds = manufacturing(
+            n_population=800, n_failed=120, missing_rate=0.03
+        )
+        config = MinerConfig(k=20, max_tree_depth=1)
+        result = ContrastSetMiner(config).mine(ds)
+        assert result.patterns
+        top_text = " ".join(
+            str(p.itemset) for p in result.top(10)
+        )
+        assert "SCE" in top_text or "JVF" in top_text
+
+
+class TestScalingDataset:
+    def test_shape(self):
+        ds = scaling_dataset(2000, n_features=40)
+        assert ds.n_rows == 2000
+        assert len(ds.schema) == 40
+
+    def test_has_signal(self):
+        ds = scaling_dataset(4000, n_features=20)
+        values = ds.column("m_001")
+        supports = ds.supports(values > 0.4)
+        assert supports[1] > supports[0] + 0.1
+
+    def test_determinism(self):
+        a = scaling_dataset(500, n_features=10, seed=1)
+        b = scaling_dataset(500, n_features=10, seed=1)
+        assert np.array_equal(a.column("m_001"), b.column("m_001"))

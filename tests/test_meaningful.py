@@ -1,0 +1,224 @@
+"""Tests for repro.core.meaningful (redundancy, productivity,
+independent productivity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contrast import ContrastPattern, evaluate_itemset
+from repro.core.items import CategoricalItem, Interval, Itemset, NumericItem
+from repro.core.meaningful import (
+    classify_patterns,
+    filter_meaningful,
+    independently_productive_mask,
+    is_productive,
+    is_redundant,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+@pytest.fixture
+def pregnancy_dataset():
+    """The paper's running example: 'female' subsumes 'pregnant'."""
+    rng = np.random.default_rng(5)
+    n = 1000
+    sex = rng.integers(0, 2, n)  # 0 = male, 1 = female
+    pregnant = ((sex == 1) & (rng.uniform(0, 1, n) < 0.4)).astype(np.int64)
+    # group correlates with pregnancy
+    group = np.where(
+        pregnant == 1,
+        (rng.uniform(0, 1, n) < 0.9).astype(np.int64),
+        (rng.uniform(0, 1, n) < 0.2).astype(np.int64),
+    )
+    schema = Schema.of(
+        [
+            Attribute.categorical("sex", ["male", "female"]),
+            Attribute.categorical("pregnant", ["no", "yes"]),
+        ]
+    )
+    return Dataset(
+        schema,
+        {"sex": sex, "pregnant": pregnant},
+        group,
+        ["control", "case"],
+    )
+
+
+class TestRedundancy:
+    def test_female_and_pregnant_is_redundant(self, pregnancy_dataset):
+        itemset = Itemset(
+            [
+                CategoricalItem("sex", "female"),
+                CategoricalItem("pregnant", "yes"),
+            ]
+        )
+        pattern = evaluate_itemset(itemset, pregnancy_dataset)
+        assert is_redundant(pattern, pregnancy_dataset)
+
+    def test_pregnant_alone_not_redundant(self, pregnancy_dataset):
+        itemset = Itemset([CategoricalItem("pregnant", "yes")])
+        pattern = evaluate_itemset(itemset, pregnancy_dataset)
+        assert not is_redundant(pattern, pregnancy_dataset)
+
+    def test_level_one_never_redundant(self, pregnancy_dataset):
+        itemset = Itemset([CategoricalItem("sex", "male")])
+        pattern = evaluate_itemset(itemset, pregnancy_dataset)
+        assert not is_redundant(pattern, pregnancy_dataset)
+
+
+@pytest.fixture
+def conjunction_dataset():
+    """Group 1 requires BOTH conditions (hurricane-style): a > 0.5 AND
+    b > 0.5; each condition alone is weakly associated."""
+    rng = np.random.default_rng(6)
+    n = 2000
+    a = rng.uniform(0, 1, n)
+    b = rng.uniform(0, 1, n)
+    both = (a > 0.5) & (b > 0.5)
+    group = np.where(
+        both, (rng.uniform(0, 1, n) < 0.9), (rng.uniform(0, 1, n) < 0.05)
+    ).astype(np.int64)
+    schema = Schema.of(
+        [Attribute.continuous("a"), Attribute.continuous("b")]
+    )
+    return Dataset(schema, {"a": a, "b": b}, group, ["calm", "storm"])
+
+
+class TestProductivity:
+    def test_conjunction_is_productive(self, conjunction_dataset):
+        itemset = Itemset(
+            [
+                NumericItem("a", Interval(0.5, 1.0)),
+                NumericItem("b", Interval(0.5, 1.0)),
+            ]
+        )
+        pattern = evaluate_itemset(itemset, conjunction_dataset)
+        assert is_productive(pattern, conjunction_dataset)
+
+    def test_independent_parts_not_productive(self):
+        """Two independent attributes each with the same weak signal: the
+        conjunction's difference equals the independence product."""
+        rng = np.random.default_rng(8)
+        n = 4000
+        group = rng.integers(0, 2, n)
+        # a and b each slightly shifted by group, independently
+        a = rng.uniform(0, 1, n) + 0.2 * group
+        b = rng.uniform(0, 1, n) + 0.2 * group
+        schema = Schema.of(
+            [Attribute.continuous("a"), Attribute.continuous("b")]
+        )
+        ds = Dataset(schema, {"a": a, "b": b}, group, ["g0", "g1"])
+        itemset = Itemset(
+            [
+                NumericItem("a", Interval(0.6, 1.3)),
+                NumericItem("b", Interval(0.6, 1.3)),
+            ]
+        )
+        pattern = evaluate_itemset(itemset, ds)
+        assert not is_productive(pattern, ds)
+
+    def test_level_one_always_productive(self, conjunction_dataset):
+        itemset = Itemset([NumericItem("a", Interval(0.5, 1.0))])
+        pattern = evaluate_itemset(itemset, conjunction_dataset)
+        assert is_productive(pattern, conjunction_dataset)
+
+
+class TestIndependentProductivity:
+    def test_subset_explained_by_superset_fails(self, conjunction_dataset):
+        sub = evaluate_itemset(
+            Itemset([NumericItem("a", Interval(0.5, 1.0))]),
+            conjunction_dataset,
+        )
+        sup = evaluate_itemset(
+            Itemset(
+                [
+                    NumericItem("a", Interval(0.5, 1.0)),
+                    NumericItem("b", Interval(0.5, 1.0)),
+                ]
+            ),
+            conjunction_dataset,
+        )
+        flags = independently_productive_mask(
+            [sub, sup], conjunction_dataset
+        )
+        assert flags == [False, True]
+
+    def test_without_superset_in_list_subset_passes(
+        self, conjunction_dataset
+    ):
+        sub = evaluate_itemset(
+            Itemset([NumericItem("a", Interval(0.5, 1.0))]),
+            conjunction_dataset,
+        )
+        flags = independently_productive_mask([sub], conjunction_dataset)
+        assert flags == [True]
+
+    def test_region_subsumption_handles_shifted_bins(
+        self, conjunction_dataset
+    ):
+        """A specialisation with slightly different boundaries still
+        explains its parent."""
+        sub = evaluate_itemset(
+            Itemset([NumericItem("a", Interval(0.5, 1.0))]),
+            conjunction_dataset,
+        )
+        sup = evaluate_itemset(
+            Itemset(
+                [
+                    NumericItem("a", Interval(0.52, 0.99)),
+                    NumericItem("b", Interval(0.5, 1.0)),
+                ]
+            ),
+            conjunction_dataset,
+        )
+        flags = independently_productive_mask(
+            [sub, sup], conjunction_dataset
+        )
+        assert flags[0] is False
+
+
+class TestClassifyAndFilter:
+    def test_report_counts_add_up(self, conjunction_dataset):
+        patterns = [
+            evaluate_itemset(
+                Itemset([NumericItem("a", Interval(0.5, 1.0))]),
+                conjunction_dataset,
+            ),
+            evaluate_itemset(
+                Itemset(
+                    [
+                        NumericItem("a", Interval(0.5, 1.0)),
+                        NumericItem("b", Interval(0.5, 1.0)),
+                    ]
+                ),
+                conjunction_dataset,
+            ),
+        ]
+        report = classify_patterns(patterns, conjunction_dataset)
+        assert report.n_meaningful + report.n_meaningless == len(patterns)
+        assert len(report.meaningful) == len(patterns)
+
+    def test_filter_returns_only_meaningful(self, conjunction_dataset):
+        patterns = [
+            evaluate_itemset(
+                Itemset([NumericItem("a", Interval(0.5, 1.0))]),
+                conjunction_dataset,
+            ),
+            evaluate_itemset(
+                Itemset(
+                    [
+                        NumericItem("a", Interval(0.5, 1.0)),
+                        NumericItem("b", Interval(0.5, 1.0)),
+                    ]
+                ),
+                conjunction_dataset,
+            ),
+        ]
+        kept = filter_meaningful(patterns, conjunction_dataset)
+        assert len(kept) == 1
+        assert len(kept[0].itemset) == 2
+
+    def test_empty_input(self, conjunction_dataset):
+        report = classify_patterns([], conjunction_dataset)
+        assert report.n_meaningful == 0
+        assert filter_meaningful([], conjunction_dataset) == []

@@ -1,0 +1,134 @@
+"""Tests for the high-level ContrastSetMiner facade."""
+
+import numpy as np
+import pytest
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+class TestMinerBasics:
+    def test_mine_returns_result(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(mixed_dataset)
+        assert len(result) > 0
+        assert result.stats.elapsed_seconds > 0
+
+    def test_top_n(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(mixed_dataset)
+        assert len(result.top(3)) <= 3
+        assert result.top() == result.patterns
+
+    def test_interest_of(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(mixed_dataset)
+        best = result.patterns[0]
+        assert result.interest_of(best) == pytest.approx(
+            best.support_difference
+        )
+
+    def test_patterns_sorted_by_interest(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=20)).mine(mixed_dataset)
+        interests = [result.interest_of(p) for p in result.patterns]
+        assert interests == sorted(interests, reverse=True)
+
+    def test_default_config(self, mixed_dataset):
+        result = ContrastSetMiner().mine(mixed_dataset)
+        assert result.config.delta == 0.1
+        assert result.config.alpha == 0.05
+
+    def test_meaningful_subset_of_patterns(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=20)).mine(mixed_dataset)
+        meaningful = result.meaningful()
+        raw = {p.itemset for p in result.patterns}
+        assert all(p.itemset in raw for p in meaningful)
+        assert len(meaningful) <= len(result)
+
+
+class TestGroupSelection:
+    def test_select_groups(self):
+        rng = np.random.default_rng(4)
+        n = 900
+        group = rng.integers(0, 3, n)
+        x = rng.uniform(0, 1, n) + (group == 2) * 2.0
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema, {"x": x}, group, ["A", "B", "C"]
+        )
+        miner = ContrastSetMiner(MinerConfig(k=10))
+        result = miner.mine(ds, groups=("A", "C"))
+        assert result.dataset.group_labels == ("A", "C")
+        assert len(result) > 0
+
+    def test_single_group_rejected(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.zeros(5)},
+            np.zeros(5, dtype=np.int64),
+            ["only"],
+        )
+        with pytest.raises(ValueError, match="two groups"):
+            ContrastSetMiner().mine(ds)
+
+    def test_attribute_restriction(self, mixed_dataset):
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(
+            mixed_dataset, attributes=["noise"]
+        )
+        for pattern in result.patterns:
+            assert pattern.itemset.attributes == ("noise",)
+
+
+class TestInterestMeasures:
+    @pytest.mark.parametrize(
+        "measure", ["support_difference", "purity_ratio", "surprising"]
+    )
+    def test_each_measure_runs(self, mixed_dataset, measure):
+        config = MinerConfig(k=10, interest_measure=measure)
+        result = ContrastSetMiner(config).mine(mixed_dataset)
+        assert len(result) > 0
+
+    def test_unknown_measure_fails_fast(self, mixed_dataset):
+        config = MinerConfig(k=10, interest_measure="bogus")
+        with pytest.raises(KeyError):
+            ContrastSetMiner(config).mine(mixed_dataset)
+
+
+class TestConfigValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MinerConfig(alpha=0)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            MinerConfig(delta=1.0)
+
+    def test_bad_depths(self):
+        with pytest.raises(ValueError):
+            MinerConfig(max_tree_depth=0)
+        with pytest.raises(ValueError):
+            MinerConfig(max_split_depth=0)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            MinerConfig(k=0)
+
+    def test_no_pruning_flags(self):
+        config = MinerConfig().no_pruning()
+        assert not config.prune_optimistic
+        assert not config.prune_redundant
+        assert not config.prune_pure_space
+        # STUCCO-basics stay on: they only drop impossible contrasts
+        assert config.prune_min_deviation
+
+    def test_with_helper(self):
+        config = MinerConfig().with_(delta=0.05, k=7)
+        assert config.delta == 0.05 and config.k == 7
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, mixed_dataset):
+        a = ContrastSetMiner(MinerConfig(k=15)).mine(mixed_dataset)
+        b = ContrastSetMiner(MinerConfig(k=15)).mine(mixed_dataset)
+        assert [p.itemset for p in a.patterns] == [
+            p.itemset for p in b.patterns
+        ]

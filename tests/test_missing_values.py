@@ -1,0 +1,155 @@
+"""Tests for missing-value (NaN) support across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro.core.items import Interval, Itemset, NumericItem
+from repro.core.sdad import sdad_cs
+from repro.dataset.io import read_csv
+from repro.dataset.table import DatasetError
+
+
+def _dataset_with_missing(rng=None, n=800, missing_rate=0.1):
+    rng = rng or np.random.default_rng(42)
+    group = rng.integers(0, 2, n)
+    x = np.where(
+        group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1, n)
+    )
+    x[rng.uniform(0, 1, n) < missing_rate] = np.nan
+    schema = Schema.of([Attribute.continuous("x")])
+    return Dataset(schema, {"x": x}, group, ["A", "B"])
+
+
+class TestDatasetMissing:
+    def test_missing_mask(self):
+        ds = _dataset_with_missing()
+        mask = ds.missing_mask()
+        assert mask.sum() == np.isnan(ds.column("x")).sum()
+        assert ds.has_missing
+
+    def test_drop_missing_rows(self):
+        ds = _dataset_with_missing()
+        clean = ds.drop_missing_rows()
+        assert not clean.has_missing
+        assert clean.n_rows == ds.n_rows - ds.missing_mask().sum()
+
+    def test_no_missing(self):
+        ds = _dataset_with_missing(missing_rate=0.0)
+        assert not ds.has_missing
+        assert ds.drop_missing_rows().n_rows == ds.n_rows
+
+
+class TestCoverageWithNaN:
+    def test_numeric_item_never_covers_nan(self):
+        ds = _dataset_with_missing()
+        item = NumericItem("x", Interval(-10.0, 10.0, True, True))
+        covered = Itemset([item]).cover(ds)
+        assert not covered[np.isnan(ds.column("x"))].any()
+
+    def test_sdad_mines_around_missing(self):
+        ds = _dataset_with_missing()
+        result = sdad_cs(ds, Itemset(), ["x"])
+        assert result.patterns
+        best = max(
+            result.patterns, key=lambda p: p.support_difference
+        )
+        assert best.support_difference > 0.7
+        # reported counts verify on the NaN-bearing data
+        for pattern in result.patterns:
+            mask = pattern.itemset.cover(ds)
+            counts = tuple(int(c) for c in ds.group_counts(mask))
+            assert counts == pattern.counts
+
+    def test_miner_end_to_end_with_missing(self):
+        ds = _dataset_with_missing()
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns
+
+    def test_all_missing_column_yields_nothing(self):
+        rng = np.random.default_rng(1)
+        n = 100
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.full(n, np.nan)},
+            rng.integers(0, 2, n),
+            ["A", "B"],
+        )
+        assert sdad_cs(ds, Itemset(), ["x"]).patterns == []
+
+
+class TestDiscretizersRejectNaN:
+    def test_clear_error(self):
+        ds = _dataset_with_missing()
+        from repro.baselines.fayyad import fayyad_discretize
+
+        with pytest.raises(ValueError, match="missing"):
+            fayyad_discretize(ds)
+
+    def test_clean_after_drop(self):
+        ds = _dataset_with_missing().drop_missing_rows()
+        from repro.baselines.fayyad import fayyad_discretize
+
+        view = fayyad_discretize(ds)
+        assert view.dataset.attribute("x").is_categorical
+
+
+class TestCsvMissingPolicies:
+    @pytest.fixture
+    def gappy_csv(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text(
+            "x,c,g\n"
+            "1.0,red,A\n"
+            "?,blue,B\n"
+            "3.0,?,A\n"
+            "4.0,red,B\n"
+        )
+        return path
+
+    def test_drop_policy(self, gappy_csv):
+        ds = read_csv(gappy_csv, group_column="g", missing="drop")
+        assert ds.n_rows == 2
+
+    def test_keep_policy(self, gappy_csv):
+        ds = read_csv(gappy_csv, group_column="g", missing="keep")
+        assert ds.n_rows == 4
+        assert np.isnan(ds.column("x")).sum() == 1
+        attr = ds.attribute("c")
+        assert "?" in attr.categories
+        codes = ds.column("c")
+        assert attr.label_of(int(codes[2])) == "?"
+
+    def test_error_policy(self, gappy_csv):
+        with pytest.raises(DatasetError, match="missing"):
+            read_csv(gappy_csv, group_column="g", missing="error")
+
+    def test_invalid_policy(self, gappy_csv):
+        with pytest.raises(ValueError):
+            read_csv(gappy_csv, group_column="g", missing="bogus")
+
+    def test_missing_group_label_rejected(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("x,g\n1.0,A\n2.0,?\n")
+        with pytest.raises(DatasetError, match="group"):
+            read_csv(path, group_column="g", missing="keep")
+
+    def test_keep_then_mine(self, tmp_path):
+        rng = np.random.default_rng(7)
+        lines = ["x,g"]
+        for i in range(600):
+            g = "A" if i % 2 == 0 else "B"
+            if rng.uniform() < 0.05:
+                lines.append(f"?,{g}")
+            else:
+                v = rng.uniform(0, 0.5) if g == "A" else rng.uniform(
+                    0.5, 1.0
+                )
+                lines.append(f"{v},{g}")
+        path = tmp_path / "stream.csv"
+        path.write_text("\n".join(lines) + "\n")
+        ds = read_csv(path, group_column="g", missing="keep")
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(ds)
+        assert result.patterns
+        assert result.patterns[0].support_difference > 0.7

@@ -1,0 +1,89 @@
+"""Tests for the MVD multivariate discretization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mvd import mvd_binning, mvd_discretize
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _dataset(x, other, groups):
+    schema = Schema.of(
+        [Attribute.continuous("x"), Attribute.continuous("other")]
+    )
+    return Dataset(
+        schema,
+        {"x": np.asarray(x, dtype=float), "other": np.asarray(other, float)},
+        np.asarray(groups, dtype=np.int64),
+        ["A", "B"],
+    )
+
+
+class TestMvdBinning:
+    def test_keeps_group_boundary(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        groups = rng.integers(0, 2, n)
+        x = np.where(
+            groups == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1, n)
+        )
+        ds = _dataset(x, rng.uniform(0, 1, n), groups)
+        binning = mvd_binning(ds, "x")
+        assert binning.cuts
+        assert min(abs(c - 0.5) for c in binning.cuts) < 0.05
+
+    def test_merges_noise_to_one_bin(self):
+        rng = np.random.default_rng(2)
+        n = 1500
+        groups = rng.integers(0, 2, n)
+        ds = _dataset(
+            rng.uniform(0, 1, n), rng.uniform(0, 1, n), groups
+        )
+        binning = mvd_binning(ds, "x")
+        # pure noise: everything merges (or nearly everything)
+        assert len(binning.cuts) <= 2
+
+    def test_detects_interaction_with_other_attribute(self):
+        """x's relationship with 'other' changes at x=0.5 even though the
+        group distribution does not — MVD must keep that cut (this is the
+        behaviour that makes it split on correlation structure in
+        Simulated Dataset 1)."""
+        rng = np.random.default_rng(3)
+        n = 3000
+        groups = rng.integers(0, 2, n)  # independent of everything
+        x = rng.uniform(0, 1, n)
+        other = np.where(
+            x < 0.5, rng.uniform(0, 0.3, n), rng.uniform(0.7, 1.0, n)
+        )
+        ds = _dataset(x, other, groups)
+        binning = mvd_binning(ds, "x")
+        assert binning.cuts
+        assert min(abs(c - 0.5) for c in binning.cuts) < 0.06
+
+    def test_small_dataset_few_basic_bins(self):
+        rng = np.random.default_rng(4)
+        n = 150
+        groups = rng.integers(0, 2, n)
+        ds = _dataset(rng.uniform(0, 1, n), rng.uniform(0, 1, n), groups)
+        binning = mvd_binning(ds, "x", basic_bin_size=100)
+        assert binning.n_bins <= 2
+
+    def test_discretize_all_continuous(self):
+        rng = np.random.default_rng(5)
+        n = 500
+        groups = rng.integers(0, 2, n)
+        ds = _dataset(rng.uniform(0, 1, n), rng.uniform(0, 1, n), groups)
+        view = mvd_discretize(ds)
+        assert set(view.binnings) == {"x", "other"}
+        assert view.dataset.attribute("x").is_categorical
+
+    def test_empty_column(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.array([], dtype=float)},
+            np.array([], dtype=np.int64),
+            ["A", "B"],
+        )
+        assert mvd_binning(ds, "x").cuts == ()

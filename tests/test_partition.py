@@ -1,0 +1,275 @@
+"""Tests for repro.core.partition (spaces, median splits, merging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.items import CategoricalItem, Interval, Itemset
+from repro.core.partition import (
+    AttributeRange,
+    Space,
+    are_contiguous,
+    find_combinations,
+    full_space,
+    merged_space,
+    partition_median,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _dataset(x=None, y=None, groups=None):
+    x = np.asarray(x if x is not None else np.linspace(0, 1, 8))
+    y = np.asarray(y if y is not None else np.linspace(10, 20, len(x)))
+    groups = np.asarray(
+        groups if groups is not None else [0, 1] * (len(x) // 2)
+    )
+    schema = Schema.of(
+        [Attribute.continuous("x"), Attribute.continuous("y")]
+    )
+    return Dataset(schema, {"x": x, "y": y}, groups, ["A", "B"])
+
+
+def _root(ds, attrs=("x", "y")):
+    return full_space(ds, attrs, np.ones(ds.n_rows, dtype=bool))
+
+
+class TestAttributeRange:
+    def test_of_dataset(self):
+        ds = _dataset()
+        rng = AttributeRange.of(ds, "x")
+        assert rng.lo == 0.0 and rng.hi == 1.0
+
+    def test_normalised_width(self):
+        rng = AttributeRange("x", 0.0, 10.0)
+        assert rng.normalised_width(Interval(2.0, 7.0)) == pytest.approx(0.5)
+
+    def test_normalised_width_clips(self):
+        rng = AttributeRange("x", 0.0, 10.0)
+        assert rng.normalised_width(
+            Interval(-100.0, 100.0)
+        ) == pytest.approx(1.0)
+
+    def test_zero_width_range(self):
+        rng = AttributeRange("x", 5.0, 5.0)
+        assert rng.normalised_width(Interval(5.0, 5.0, True, True)) == 1.0
+
+
+class TestFullSpace:
+    def test_root_covers_everything(self):
+        ds = _dataset()
+        root = _root(ds)
+        assert root.total_count == ds.n_rows
+        assert root.hypervolume == pytest.approx(1.0)
+        assert root.intervals["x"].lo_closed
+        assert root.intervals["x"].hi_closed
+
+    def test_context_mask_respected(self):
+        ds = _dataset()
+        mask = np.zeros(ds.n_rows, dtype=bool)
+        mask[:3] = True
+        root = full_space(ds, ("x",), mask)
+        assert root.total_count == 3
+
+
+class TestPartitionMedian:
+    def test_split_at_median(self):
+        ds = _dataset(x=np.array([1.0, 2.0, 3.0, 4.0]), groups=[0, 0, 1, 1])
+        root = _root(ds, ("x",))
+        left, right = partition_median(ds, root, "x")
+        assert left.hi == right.lo == pytest.approx(2.5)
+        assert left.lo_closed and left.hi_closed
+        assert not right.lo_closed and right.hi_closed
+
+    def test_halves_partition_rows(self):
+        ds = _dataset()
+        root = _root(ds, ("x",))
+        left, right = partition_median(ds, root, "x")
+        values = ds.column("x")
+        assert (left.cover(values).sum() + right.cover(values).sum()) == len(
+            values
+        )
+
+    def test_constant_attribute_unsplittable(self):
+        ds = _dataset(x=np.ones(6), groups=[0, 1, 0, 1, 0, 1])
+        root = _root(ds, ("x",))
+        assert partition_median(ds, root, "x") is None
+
+    def test_ties_at_max_fall_back_to_lower_boundary(self):
+        # median equals the max: split at the largest distinct value
+        # below it so the right half stays non-empty
+        ds = _dataset(
+            x=np.array([1.0, 5.0, 5.0, 5.0]), groups=[0, 1, 0, 1]
+        )
+        root = _root(ds, ("x",))
+        left, right = partition_median(ds, root, "x")
+        assert left.hi == right.lo == pytest.approx(1.0)
+        col = ds.column("x")
+        assert left.cover(col).sum() == 1
+        assert right.cover(col).sum() == 3
+
+    def test_zero_inflated_column_splits_at_spike(self):
+        # 70% zeros: the zero spike becomes a degenerate left half
+        x = np.array([0.0] * 7 + [1.0, 2.0, 3.0])
+        ds = _dataset(x=x, groups=[0, 1] * 5)
+        root = _root(ds, ("x",))
+        left, right = partition_median(ds, root, "x")
+        col = ds.column("x")
+        assert left.cover(col).sum() == 7
+        assert right.cover(col).sum() == 3
+
+    def test_empty_region(self):
+        ds = _dataset()
+        empty = Space(
+            {"x": Interval(0, 1, True, True)},
+            np.zeros(ds.n_rows, dtype=bool),
+            np.zeros(2, dtype=np.int64),
+            {},
+        )
+        assert partition_median(ds, empty, "x") is None
+
+
+class TestFindCombinations:
+    def test_two_attrs_make_four_boxes(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {
+            "x": partition_median(ds, root, "x"),
+            "y": partition_median(ds, root, "y"),
+        }
+        children = find_combinations(ds, root, splits)
+        assert len(children) == 4
+        total = sum(c.total_count for c in children)
+        assert total == root.total_count
+
+    def test_masks_are_disjoint(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {
+            "x": partition_median(ds, root, "x"),
+            "y": partition_median(ds, root, "y"),
+        }
+        children = find_combinations(ds, root, splits)
+        stacked = np.vstack([c.mask for c in children])
+        assert (stacked.sum(axis=0) <= 1).all()
+
+    def test_unsplit_attribute_kept(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {"x": partition_median(ds, root, "x")}
+        children = find_combinations(ds, root, splits)
+        assert len(children) == 2
+        for child in children:
+            assert child.intervals["y"] == root.intervals["y"]
+
+
+class TestSpace:
+    def test_itemset_with_context(self):
+        ds = _dataset()
+        root = _root(ds, ("x",))
+        context = Itemset([CategoricalItem("c", "v")])
+        itemset = root.itemset_with(context)
+        assert set(itemset.attributes) == {"c", "x"}
+
+    def test_key_is_hashable_and_stable(self):
+        ds = _dataset()
+        a = _root(ds)
+        b = _root(ds)
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_hypervolume_of_half(self):
+        ds = _dataset(x=np.linspace(0, 1, 9), y=np.linspace(0, 1, 9),
+                      groups=[0, 1] * 4 + [0])
+        root = _root(ds)
+        left, right = partition_median(ds, root, "x")
+        children = find_combinations(ds, root, {"x": (left, right)})
+        assert children[0].hypervolume == pytest.approx(0.5)
+
+
+class TestMerging:
+    def _siblings(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {"x": partition_median(ds, root, "x")}
+        return ds, find_combinations(ds, root, splits)
+
+    def test_contiguous_siblings(self):
+        __, (left, right) = self._siblings()
+        assert are_contiguous(left, right)
+
+    def test_merged_space_restores_parent(self):
+        ds, (left, right) = self._siblings()
+        merged = merged_space(left, right)
+        assert merged.total_count == ds.n_rows
+        assert merged.intervals["x"].lo == left.intervals["x"].lo
+        assert merged.intervals["x"].hi == right.intervals["x"].hi
+
+    def test_merge_counts_additive(self):
+        __, (left, right) = self._siblings()
+        merged = merged_space(left, right)
+        assert (merged.counts == left.counts + right.counts).all()
+
+    def test_not_contiguous_when_two_axes_differ(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {
+            "x": partition_median(ds, root, "x"),
+            "y": partition_median(ds, root, "y"),
+        }
+        children = find_combinations(ds, root, splits)
+        # children[0] = (x-left, y-left); children[3] = (x-right, y-right)
+        assert not are_contiguous(children[0], children[3])
+        assert are_contiguous(children[0], children[1])
+
+    def test_merge_non_contiguous_raises(self):
+        ds = _dataset()
+        root = _root(ds)
+        splits = {
+            "x": partition_median(ds, root, "x"),
+            "y": partition_median(ds, root, "y"),
+        }
+        children = find_combinations(ds, root, splits)
+        with pytest.raises(ValueError):
+            merged_space(children[0], children[3])
+
+    def test_different_attribute_sets_not_contiguous(self):
+        ds = _dataset()
+        a = _root(ds, ("x",))
+        b = _root(ds, ("x", "y"))
+        assert not are_contiguous(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(0, 100, allow_nan=False), min_size=4, max_size=80
+    ),
+)
+def test_median_split_partition_property(values):
+    """Property: a median split always yields two non-empty halves that
+    exactly partition the region's rows, and any region with at least two
+    distinct values is splittable (tie fallback included)."""
+    values = np.asarray(values)
+    groups = np.zeros(len(values), dtype=np.int64)
+    groups[::2] = 1
+    schema = Schema.of([Attribute.continuous("x")])
+    ds = Dataset(schema, {"x": values}, groups, ["A", "B"])
+    root = full_space(ds, ("x",), np.ones(len(values), dtype=bool))
+    halves = partition_median(ds, root, "x")
+    if np.unique(values).size < 2:
+        assert halves is None
+        return
+    assert halves is not None
+    left, right = halves
+    col = ds.column("x")
+    n_left = int(left.cover(col).sum())
+    n_right = int(right.cover(col).sum())
+    assert n_left + n_right == len(values)
+    assert n_left >= 1 and n_right >= 1
+    assert left.hi == right.lo
+    # without heavy ties at the top, the median keeps the right half small
+    median = float(np.median(values))
+    if median < values.max():
+        assert n_right <= len(values) / 2 + 1

@@ -1,0 +1,153 @@
+"""Property-based tests of whole-miner invariants (hypothesis).
+
+These generate small random mixed datasets and check the contracts that
+must hold regardless of the data:
+
+* every reported pattern is a large and significant contrast whose counts
+  match a recount on the raw data;
+* the top-k list is sorted by the configured interest measure;
+* the no-pruning variant never reports fewer patterns nor evaluates fewer
+  partitions;
+* group permutation invariance: relabelling groups only relabels outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+
+
+@st.composite
+def small_datasets(draw):
+    """Random mixed dataset: 80-200 rows, 1 continuous + 1 categorical
+    attribute, with a planted signal of random strength."""
+    n = draw(st.integers(80, 200))
+    seed = draw(st.integers(0, 2**31 - 1))
+    strength = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    group = rng.integers(0, 2, n)
+    x = rng.uniform(0, 1, n) + strength * group
+    cat = rng.integers(0, 2, n)
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.categorical("c", ["u", "v"]),
+        ]
+    )
+    return Dataset(
+        schema, {"x": x, "c": cat}, group, ["G0", "G1"]
+    )
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(dataset=small_datasets())
+def test_patterns_are_verified_contrasts(dataset):
+    config = MinerConfig(k=20, max_tree_depth=2)
+    result = ContrastSetMiner(config).mine(dataset)
+    for pattern in result.patterns:
+        # counts must match a recount
+        mask = pattern.itemset.cover(dataset)
+        counts = tuple(int(c) for c in dataset.group_counts(mask))
+        assert counts == pattern.counts
+        # largeness always holds; significance held at the (stricter)
+        # Bonferroni-adjusted level during mining
+        assert pattern.support_difference > config.delta
+        assert pattern.chi_square.p_value < config.alpha
+
+
+@_SETTINGS
+@given(dataset=small_datasets())
+def test_results_sorted_by_interest(dataset):
+    result = ContrastSetMiner(MinerConfig(k=20)).mine(dataset)
+    interests = [result.interest_of(p) for p in result.patterns]
+    assert interests == sorted(interests, reverse=True)
+
+
+@_SETTINGS
+@given(dataset=small_datasets())
+def test_np_is_a_superset_machine(dataset):
+    config = MinerConfig(k=500, max_tree_depth=2)
+    full = ContrastSetMiner(config).mine(dataset)
+    np_run = ContrastSetMiner(config.no_pruning()).mine(dataset)
+    assert len(np_run.patterns) >= len(full.patterns)
+    assert (
+        np_run.stats.partitions_evaluated
+        >= full.stats.partitions_evaluated
+    )
+
+
+@_SETTINGS
+@given(dataset=small_datasets())
+def test_group_relabelling_invariance(dataset):
+    """Swapping group labels must produce the same itemsets with the
+    supports swapped."""
+    config = MinerConfig(k=20, max_tree_depth=2)
+    result = ContrastSetMiner(config).mine(dataset)
+
+    swapped = Dataset(
+        dataset.schema,
+        {name: dataset.column(name) for name in dataset.schema.names},
+        1 - np.asarray(dataset.group_codes),
+        ("G1", "G0"),
+    )
+    result_swapped = ContrastSetMiner(config).mine(swapped)
+
+    original = {
+        p.itemset: p.supports for p in result.patterns
+    }
+    mirrored = {
+        p.itemset: p.supports for p in result_swapped.patterns
+    }
+    assert set(original) == set(mirrored)
+    for itemset, supports in original.items():
+        assert mirrored[itemset] == pytest.approx(supports[::-1])
+
+
+@_SETTINGS
+@given(dataset=small_datasets(), delta=st.floats(0.05, 0.4))
+def test_delta_monotonicity(dataset, delta):
+    """Raising delta can only shrink the set of reported contrasts."""
+    low = ContrastSetMiner(
+        MinerConfig(k=500, delta=0.05, max_tree_depth=1)
+    ).mine(dataset)
+    high = ContrastSetMiner(
+        MinerConfig(k=500, delta=delta, max_tree_depth=1)
+    ).mine(dataset)
+    # every high-delta pattern also passes the low-delta bar; the
+    # discretization is identical at level 1 for the same data
+    assert len(high.patterns) <= len(low.patterns) or all(
+        p.support_difference > 0.05 for p in high.patterns
+    )
+    for pattern in high.patterns:
+        assert pattern.support_difference > delta
+
+
+@_SETTINGS
+@given(dataset=small_datasets())
+def test_pure_noise_finds_nothing_strong(dataset):
+    """On permuted (group-shuffled) data no strong contrast may survive:
+    shuffling destroys any real association."""
+    rng = np.random.default_rng(0)
+    shuffled_codes = np.asarray(dataset.group_codes).copy()
+    rng.shuffle(shuffled_codes)
+    shuffled = Dataset(
+        dataset.schema,
+        {name: dataset.column(name) for name in dataset.schema.names},
+        shuffled_codes,
+        dataset.group_labels,
+    )
+    result = ContrastSetMiner(MinerConfig(k=20)).mine(shuffled)
+    for pattern in result.patterns:
+        # chance contrasts on ~100-200 shuffled rows stay weak
+        assert pattern.support_difference < 0.6

@@ -1,0 +1,140 @@
+"""Tests for repro.dataset.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.sampling import (
+    population_vs_group,
+    stratified_sample,
+    train_holdout_split,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset, DatasetError
+
+
+def _dataset(n=1000, seed=0, p_fail=0.1):
+    rng = np.random.default_rng(seed)
+    group = (rng.uniform(0, 1, n) < p_fail).astype(np.int64)
+    schema = Schema.of([Attribute.continuous("x")])
+    return Dataset(
+        schema, {"x": rng.uniform(0, 1, n)}, group, ["ok", "fail"]
+    )
+
+
+class TestStratifiedSample:
+    def test_fraction_preserves_ratio(self):
+        ds = _dataset(n=2000)
+        sample = stratified_sample(ds, fraction=0.25, seed=1)
+        original_ratio = ds.group_sizes[1] / ds.n_rows
+        sampled_ratio = sample.group_sizes[1] / sample.n_rows
+        assert sampled_ratio == pytest.approx(original_ratio, abs=0.03)
+        assert sample.n_rows == pytest.approx(500, abs=10)
+
+    def test_n_rows_target(self):
+        ds = _dataset(n=1000)
+        sample = stratified_sample(ds, n_rows=100, seed=1)
+        assert sample.n_rows == pytest.approx(100, abs=5)
+
+    def test_small_groups_never_vanish(self):
+        ds = _dataset(n=500, p_fail=0.01)
+        sample = stratified_sample(ds, fraction=0.05, seed=2)
+        assert sample.group_sizes[1] >= 1
+
+    def test_argument_validation(self):
+        ds = _dataset(n=100)
+        with pytest.raises(ValueError):
+            stratified_sample(ds)
+        with pytest.raises(ValueError):
+            stratified_sample(ds, fraction=0.5, n_rows=10)
+        with pytest.raises(ValueError):
+            stratified_sample(ds, fraction=1.5)
+        with pytest.raises(ValueError):
+            stratified_sample(ds, n_rows=0)
+
+    def test_deterministic_given_seed(self):
+        ds = _dataset(n=500)
+        a = stratified_sample(ds, fraction=0.2, seed=7)
+        b = stratified_sample(ds, fraction=0.2, seed=7)
+        assert np.array_equal(a.column("x"), b.column("x"))
+
+
+class TestPopulationVsGroup:
+    def test_builds_two_group_comparison(self):
+        ds = _dataset(n=3000, p_fail=0.05)
+        comparison = population_vs_group(
+            ds, "fail", sample_ratio=4.0, seed=3
+        )
+        assert comparison.group_labels == ("Population", "Anomaly")
+        n_fail = ds.group_sizes[1]
+        # the anomaly side holds the full failing group
+        assert comparison.group_sizes[1] == n_fail
+        # the population sample is roughly ratio x anomaly (minus overlap)
+        assert comparison.group_sizes[0] <= 4 * n_fail
+
+    def test_anomaly_rows_all_present(self):
+        ds = _dataset(n=800, p_fail=0.1)
+        comparison = population_vs_group(ds, "fail", seed=4)
+        assert comparison.group_sizes[1] == ds.group_sizes[1]
+
+    def test_empty_group_rejected(self):
+        ds = _dataset(n=100, p_fail=0.0)
+        with pytest.raises(DatasetError, match="empty"):
+            population_vs_group(ds, "fail")
+
+    def test_duplicate_labels_rejected(self):
+        ds = _dataset(n=100)
+        with pytest.raises(DatasetError):
+            population_vs_group(ds, "fail", labels=("X", "X"))
+
+
+class TestTrainHoldout:
+    def test_split_sizes(self):
+        ds = _dataset(n=1000)
+        train, holdout = train_holdout_split(ds, 0.3, seed=5)
+        assert train.n_rows + holdout.n_rows == ds.n_rows
+        assert holdout.n_rows == pytest.approx(300, abs=10)
+
+    def test_stratification(self):
+        ds = _dataset(n=2000, p_fail=0.2)
+        train, holdout = train_holdout_split(ds, 0.25, seed=6)
+        for part in (train, holdout):
+            ratio = part.group_sizes[1] / part.n_rows
+            assert ratio == pytest.approx(0.2, abs=0.04)
+
+    def test_disjoint(self):
+        # x values are unique with probability 1, so multisets suffice
+        ds = _dataset(n=400)
+        train, holdout = train_holdout_split(ds, 0.5, seed=7)
+        overlap = set(map(float, train.column("x"))) & set(
+            map(float, holdout.column("x"))
+        )
+        assert not overlap
+
+    def test_validation(self):
+        ds = _dataset(n=100)
+        with pytest.raises(ValueError):
+            train_holdout_split(ds, 0.0)
+        with pytest.raises(ValueError):
+            train_holdout_split(ds, 1.0)
+
+    def test_holdout_validation_workflow(self):
+        """Patterns mined on train re-validate on holdout when the signal
+        is real."""
+        rng = np.random.default_rng(8)
+        n = 1200
+        group = rng.integers(0, 2, n)
+        x = np.where(
+            group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1, n)
+        )
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(schema, {"x": x}, group, ["A", "B"])
+        train, holdout = train_holdout_split(ds, 0.3, seed=9)
+
+        from repro import ContrastSetMiner, MinerConfig
+        from repro.core.contrast import evaluate_itemset
+
+        result = ContrastSetMiner(MinerConfig(k=10)).mine(train)
+        assert result.patterns
+        best = result.patterns[0]
+        revalidated = evaluate_itemset(best.itemset, holdout)
+        assert revalidated.support_difference > 0.7

@@ -1,0 +1,102 @@
+"""Tests for repro.core.search (level-wise mixed-data search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.search import SearchEngine, attribute_combinations
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+class TestAttributeCombinations:
+    def test_level_order(self):
+        combos = list(attribute_combinations(["a", "b", "c"], 2))
+        assert combos == [
+            ("a",),
+            ("b",),
+            ("c",),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+        ]
+
+    def test_respects_max_size(self):
+        combos = list(attribute_combinations(["a", "b", "c"], 1))
+        assert all(len(c) == 1 for c in combos)
+
+    def test_each_combination_once(self):
+        combos = list(attribute_combinations(list("abcde"), 3))
+        assert len(combos) == len(set(combos))
+        assert len(combos) == 5 + 10 + 10
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestSearchEngine:
+    def test_categorical_contrast_found(self, categorical_dataset):
+        engine = SearchEngine(categorical_dataset, MinerConfig(k=20))
+        topk = engine.run()
+        itemsets = [str(p.itemset) for p in topk.patterns()]
+        assert any("tool = T1" in s for s in itemsets)
+
+    def test_mixed_contrast_found(self, mixed_dataset):
+        engine = SearchEngine(mixed_dataset, MinerConfig(k=20))
+        topk = engine.run()
+        assert len(topk) > 0
+        best = topk.patterns()[0]
+        assert best.itemset.item_for("x") is not None
+        assert best.support_difference > 0.8
+
+    def test_attribute_subset_restriction(self, mixed_dataset):
+        engine = SearchEngine(
+            mixed_dataset, MinerConfig(k=20), attributes=["noise", "color"]
+        )
+        topk = engine.run()
+        for pattern in topk.patterns():
+            assert "x" not in pattern.itemset.attributes
+
+    def test_unknown_attribute_rejected(self, mixed_dataset):
+        with pytest.raises(KeyError):
+            SearchEngine(mixed_dataset, attributes=["nope"])
+
+    def test_max_tree_depth_limits_itemset_size(self, mixed_dataset):
+        engine = SearchEngine(
+            mixed_dataset, MinerConfig(k=50, max_tree_depth=1)
+        )
+        topk = engine.run()
+        assert all(len(p.itemset) == 1 for p in topk.patterns())
+
+    def test_no_pruning_finds_superset_of_pruned(self, mixed_dataset):
+        config = MinerConfig(k=50)
+        pruned = SearchEngine(mixed_dataset, config).run()
+        unpruned = SearchEngine(mixed_dataset, config.no_pruning()).run()
+        # the unpruned run evaluates at least as many partitions and
+        # retains at least as many patterns
+        assert len(unpruned) >= len(pruned)
+
+    def test_stats_populated(self, mixed_dataset):
+        engine = SearchEngine(mixed_dataset, MinerConfig(k=10))
+        engine.run()
+        assert engine.stats.partitions_evaluated > 0
+        assert engine.stats.nodes_expanded > 0
+
+    def test_topk_threshold_tightens(self, mixed_dataset):
+        config = MinerConfig(k=2)
+        engine = SearchEngine(mixed_dataset, config)
+        topk = engine.run()
+        assert topk.threshold >= config.delta
+
+    def test_group_support_correctness(self, mixed_dataset):
+        """Every reported pattern's counts must match a recount."""
+        engine = SearchEngine(mixed_dataset, MinerConfig(k=30))
+        topk = engine.run()
+        for pattern in topk.patterns():
+            mask = pattern.itemset.cover(mixed_dataset)
+            counts = tuple(
+                int(c) for c in mixed_dataset.group_counts(mask)
+            )
+            assert counts == pattern.counts

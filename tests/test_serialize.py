@@ -1,0 +1,147 @@
+"""Tests for JSON serialization of itemsets and patterns."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.contrast import ContrastPattern
+from repro.core.items import (
+    CategoricalItem,
+    Interval,
+    Itemset,
+    NumericItem,
+)
+from repro.core.serialize import (
+    item_from_dict,
+    item_to_dict,
+    itemset_from_dict,
+    itemset_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+    patterns_from_dicts,
+    patterns_to_dicts,
+)
+
+
+def _pattern():
+    return ContrastPattern(
+        itemset=Itemset(
+            [
+                CategoricalItem("tool", "T1"),
+                NumericItem("temp", Interval(80.0, 95.0, True, False)),
+            ]
+        ),
+        counts=(12, 48),
+        group_sizes=(100, 120),
+        group_labels=("ok", "bad"),
+        level=2,
+        hypervolume=0.25,
+    )
+
+
+class TestItemRoundTrip:
+    def test_categorical(self):
+        item = CategoricalItem("c", "v")
+        assert item_from_dict(item_to_dict(item)) == item
+
+    def test_numeric_finite(self):
+        item = NumericItem("x", Interval(1.0, 2.0, True, False))
+        assert item_from_dict(item_to_dict(item)) == item
+
+    def test_numeric_infinite_endpoints(self):
+        item = NumericItem("x", Interval(-math.inf, 5.0))
+        payload = item_to_dict(item)
+        assert payload["lo"] is None
+        assert item_from_dict(payload) == item
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            item_from_dict({"kind": "nope"})
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            item_to_dict("not an item")
+
+
+class TestItemsetRoundTrip:
+    def test_round_trip(self):
+        itemset = _pattern().itemset
+        assert itemset_from_dict(itemset_to_dict(itemset)) == itemset
+
+    def test_empty(self):
+        assert itemset_from_dict(itemset_to_dict(Itemset())) == Itemset()
+
+
+class TestPatternRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        pattern = _pattern()
+        restored = pattern_from_dict(pattern_to_dict(pattern))
+        assert restored.itemset == pattern.itemset
+        assert restored.counts == pattern.counts
+        assert restored.group_sizes == pattern.group_sizes
+        assert restored.group_labels == pattern.group_labels
+        assert restored.level == pattern.level
+        assert restored.hypervolume == pattern.hypervolume
+        assert restored.support_difference == pytest.approx(
+            pattern.support_difference
+        )
+
+    def test_json_serialisable(self):
+        payload = pattern_to_dict(_pattern())
+        text = json.dumps(payload)
+        restored = pattern_from_dict(json.loads(text))
+        assert restored.itemset == _pattern().itemset
+
+    def test_derived_block_present(self):
+        payload = pattern_to_dict(_pattern())
+        derived = payload["derived"]
+        assert derived["dominant_group"] == "bad"
+        assert 0 <= derived["p_value"] <= 1
+
+    def test_list_round_trip(self):
+        patterns = [_pattern(), _pattern()]
+        restored = patterns_from_dicts(patterns_to_dicts(patterns))
+        assert len(restored) == 2
+        assert restored[0].itemset == patterns[0].itemset
+
+    def test_defaults_on_minimal_payload(self):
+        payload = {
+            "itemset": {"items": []},
+            "counts": [1, 2],
+            "group_sizes": [10, 10],
+            "group_labels": ["A", "B"],
+        }
+        restored = pattern_from_dict(payload)
+        assert restored.level == 1
+        assert restored.hypervolume == 1.0
+
+
+class TestCliJson:
+    def test_mine_json_output(self, tmp_path, mixed_dataset, capsys):
+        from repro.cli import main
+        from repro.dataset.io import write_csv
+
+        path = tmp_path / "data.csv"
+        write_csv(mixed_dataset, path)
+        code = main(
+            ["mine", str(path), "--group", "group", "--depth", "1",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        restored = patterns_from_dicts(payload)
+        for pattern in restored:
+            # the CSV round-trip may reorder group labels; align by label
+            mask = pattern.itemset.cover(mixed_dataset)
+            counts = mixed_dataset.group_counts(mask)
+            by_label = {
+                label: int(count)
+                for label, count in zip(
+                    mixed_dataset.group_labels, counts
+                )
+            }
+            for label, count in zip(pattern.group_labels,
+                                     pattern.counts):
+                assert by_label[label] == count

@@ -1,0 +1,61 @@
+"""Tests for the Srikant-Agrawal equi-depth baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.srikant import srikant_binning, srikant_discretize
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+def _uniform_dataset(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema.of([Attribute.continuous("x")])
+    return Dataset(
+        schema,
+        {"x": rng.uniform(0, 1, n)},
+        rng.integers(0, 2, n),
+        ["A", "B"],
+    )
+
+
+class TestSrikantBinning:
+    def test_partitions_bounded_by_max_support(self):
+        ds = _uniform_dataset()
+        binning = srikant_binning(ds, "x", n_partitions=20, max_support=0.15)
+        ids = binning.assign(ds.column("x"))
+        fractions = np.bincount(ids) / ds.n_rows
+        # each merged bin stays at or near the ceiling (the last run and
+        # unmergeable singles may be smaller)
+        assert fractions.max() <= 0.15 + 1e-9
+
+    def test_merging_reduces_bins(self):
+        ds = _uniform_dataset()
+        fine = srikant_binning(ds, "x", n_partitions=20, max_support=0.0)
+        merged = srikant_binning(ds, "x", n_partitions=20, max_support=0.3)
+        assert merged.n_bins < fine.n_bins
+
+    def test_zero_ceiling_keeps_all_cuts(self):
+        ds = _uniform_dataset()
+        binning = srikant_binning(ds, "x", n_partitions=10, max_support=0.0)
+        assert binning.n_bins == 10
+
+    def test_invalid_partitions(self):
+        ds = _uniform_dataset()
+        with pytest.raises(ValueError):
+            srikant_binning(ds, "x", n_partitions=0)
+
+    def test_empty_column(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.array([], dtype=float)},
+            np.array([], dtype=np.int64),
+            ["A", "B"],
+        )
+        assert srikant_binning(ds, "x").cuts == ()
+
+    def test_discretize_view(self):
+        ds = _uniform_dataset()
+        view = srikant_discretize(ds, n_partitions=8)
+        assert view.dataset.attribute("x").is_categorical

@@ -1,0 +1,206 @@
+"""Tests for repro.core.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.stats import (
+    AlphaLadder,
+    chi_square_independence,
+    clt_difference_bound,
+    contingency_from_counts,
+    difference_is_statistically_same,
+    expected_counts,
+    fisher_exact_2x2,
+    mann_whitney_u,
+    min_expected_count,
+)
+
+
+class TestContingency:
+    def test_from_counts(self):
+        table = contingency_from_counts([3, 7], [10, 20])
+        assert table.tolist() == [[3, 7], [7, 13]]
+
+    def test_count_exceeds_size(self):
+        with pytest.raises(ValueError):
+            contingency_from_counts([11], [10])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_from_counts([1, 2], [10])
+
+    def test_expected_counts(self):
+        table = np.array([[10, 10], [10, 10]], dtype=float)
+        expected = expected_counts(table)
+        assert np.allclose(expected, 10)
+
+    def test_expected_counts_empty(self):
+        assert expected_counts(np.zeros((2, 2))).sum() == 0
+
+    def test_min_expected_count(self):
+        # 2x2 balanced table: all expected cells equal 10
+        assert min_expected_count([10, 10], [20, 20]) == pytest.approx(10)
+
+
+class TestChiSquare:
+    def test_matches_scipy(self):
+        table = np.array([[20, 5], [10, 25]], dtype=float)
+        ours = chi_square_independence(table)
+        ref = scipy_stats.chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+        assert ours.dof == ref.dof
+
+    def test_yates_matches_scipy(self):
+        table = np.array([[8, 2], [1, 5]], dtype=float)
+        ours = chi_square_independence(table, yates=True)
+        ref = scipy_stats.chi2_contingency(table, correction=True)
+        assert ours.statistic == pytest.approx(ref.statistic)
+
+    def test_independent_table_not_significant(self):
+        table = np.array([[50, 50], [50, 50]], dtype=float)
+        result = chi_square_independence(table)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant_at(0.05)
+
+    def test_dependent_table_significant(self):
+        table = np.array([[100, 0], [0, 100]], dtype=float)
+        assert chi_square_independence(table).significant_at(0.001)
+
+    def test_degenerate_rows_dropped(self):
+        table = np.array([[10, 20], [0, 0]], dtype=float)
+        result = chi_square_independence(table)
+        assert result.p_value == 1.0
+        assert result.dof == 0
+
+    def test_zero_column_dropped(self):
+        table = np.array([[10, 0], [20, 0]], dtype=float)
+        assert chi_square_independence(table).p_value == 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            chi_square_independence(np.array([1.0, 2.0]))
+
+    def test_kxm_table(self):
+        table = np.array([[30, 10, 5], [5, 10, 30]], dtype=float)
+        ours = chi_square_independence(table)
+        ref = scipy_stats.chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.dof == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cells=st.lists(st.integers(1, 200), min_size=4, max_size=4),
+)
+def test_chi_square_property_vs_scipy(cells):
+    table = np.array(cells, dtype=float).reshape(2, 2)
+    ours = chi_square_independence(table)
+    ref = scipy_stats.chi2_contingency(table, correction=False)
+    assert ours.statistic == pytest.approx(ref.statistic, rel=1e-9)
+    assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+
+class TestFisher:
+    def test_matches_scipy(self):
+        table = np.array([[8, 2], [1, 5]])
+        assert fisher_exact_2x2(table) == pytest.approx(
+            scipy_stats.fisher_exact(table)[1]
+        )
+
+    def test_requires_2x2(self):
+        with pytest.raises(ValueError):
+            fisher_exact_2x2(np.ones((2, 3)))
+
+
+class TestAlphaLadder:
+    def test_level_one_halves_alpha(self):
+        ladder = AlphaLadder(0.05)
+        assert ladder.alpha_for_level(1) == pytest.approx(0.025)
+
+    def test_monotone_non_increasing(self):
+        ladder = AlphaLadder(0.05)
+        alphas = [ladder.alpha_for_level(l) for l in range(1, 6)]
+        assert all(a >= b for a, b in zip(alphas, alphas[1:]))
+
+    def test_candidates_divide_budget(self):
+        ladder = AlphaLadder(0.05)
+        assert ladder.alpha_for_level(1, n_candidates=10) == pytest.approx(
+            0.0025
+        )
+
+    def test_never_rises_after_tightening(self):
+        ladder = AlphaLadder(0.05)
+        tight = ladder.alpha_for_level(2, n_candidates=100)
+        again = ladder.alpha_for_level(2, n_candidates=1)
+        assert again == tight
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            AlphaLadder(0.0)
+        with pytest.raises(ValueError):
+            AlphaLadder(1.5)
+
+    def test_level_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AlphaLadder().alpha_for_level(0)
+
+
+class TestCLTBound:
+    def test_zero_variance(self):
+        # supports of exactly 0 and 1 have no sampling variance
+        assert clt_difference_bound(1.0, 0.0, 100, 100) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # p=0.5 both, n=100 each: se = sqrt(2 * 0.25/100) = sqrt(0.005)
+        z = scipy_stats.norm.ppf(0.975)
+        expected = z * math.sqrt(0.005)
+        assert clt_difference_bound(0.5, 0.5, 100, 100) == pytest.approx(
+            expected
+        )
+
+    def test_empty_group_is_infinite(self):
+        assert clt_difference_bound(0.5, 0.5, 0, 10) == math.inf
+
+    def test_same_difference_within_band(self):
+        assert difference_is_statistically_same(
+            0.31, 0.30, 0.5, 0.2, 500, 500
+        )
+
+    def test_large_difference_outside_band(self):
+        assert not difference_is_statistically_same(
+            0.9, 0.3, 0.5, 0.2, 500, 500
+        )
+
+    def test_band_widens_with_alpha_smaller(self):
+        loose = clt_difference_bound(0.5, 0.5, 50, 50, alpha=0.05)
+        strict = clt_difference_bound(0.5, 0.5, 50, 50, alpha=0.001)
+        assert strict > loose
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        assert mann_whitney_u([1, 2, 3], [1, 2, 3]) > 0.5
+
+    def test_shifted_samples_significant(self):
+        a = list(np.linspace(0, 1, 50))
+        b = list(np.linspace(5, 6, 50))
+        assert mann_whitney_u(a, b) < 0.001
+
+    def test_empty_sample(self):
+        assert mann_whitney_u([], [1.0]) == 1.0
+
+    def test_constant_identical(self):
+        assert mann_whitney_u([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_matches_scipy(self):
+        a = [0.1, 0.4, 0.3, 0.9]
+        b = [0.2, 0.8, 0.7, 0.5]
+        ref = scipy_stats.mannwhitneyu(a, b, alternative="two-sided").pvalue
+        assert mann_whitney_u(a, b) == pytest.approx(float(ref))

@@ -1,0 +1,196 @@
+"""Tests for the streaming extension (sliding window + drift mining)."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, MinerConfig, Schema
+from repro.dataset.table import Dataset, DatasetError
+from repro.streaming import SlidingWindow, StreamingContrastMiner
+
+
+SCHEMA = Schema.of(
+    [
+        Attribute.continuous("x"),
+        Attribute.categorical("c", ["a", "b"]),
+    ]
+)
+GROUPS = ("pass", "fail")
+
+
+def _chunk(rng, n, boundary=None):
+    """Rows; when boundary is set, x separates the groups at it."""
+    group = rng.integers(0, 2, n)
+    if boundary is None:
+        x = rng.uniform(0, 1, n)
+    else:
+        x = np.where(
+            group == 0,
+            rng.uniform(0, boundary, n),
+            rng.uniform(boundary, 1, n),
+        )
+    c = rng.integers(0, 2, n)
+    return {"x": x, "c": c}, group
+
+
+class TestSlidingWindow:
+    def test_append_and_len(self):
+        rng = np.random.default_rng(0)
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=100)
+        cols, groups = _chunk(rng, 30)
+        window.append(cols, groups)
+        assert len(window) == 30
+        assert window.total_seen == 30
+        assert not window.is_full
+
+    def test_eviction_keeps_newest(self):
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=5)
+        for value in range(10):
+            window.append(
+                {"x": np.array([float(value)]), "c": np.array([0])},
+                np.array([0]),
+            )
+        assert len(window) == 5
+        snapshot = window.snapshot()
+        assert list(snapshot.column("x")) == [5.0, 6.0, 7.0, 8.0, 9.0]
+        assert window.total_seen == 10
+
+    def test_partial_chunk_trim(self):
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=4)
+        window.append(
+            {"x": np.arange(6, dtype=float), "c": np.zeros(6, dtype=int)},
+            np.zeros(6, dtype=int),
+        )
+        assert len(window) == 4
+        assert list(window.snapshot().column("x")) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_snapshot_empty(self):
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=10)
+        snapshot = window.snapshot()
+        assert snapshot.n_rows == 0
+        assert snapshot.group_labels == GROUPS
+
+    def test_missing_column_rejected(self):
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=10)
+        with pytest.raises(DatasetError, match="missing column"):
+            window.append({"x": np.array([1.0])}, np.array([0]))
+
+    def test_length_mismatch_rejected(self):
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=10)
+        with pytest.raises(DatasetError):
+            window.append(
+                {"x": np.array([1.0, 2.0]), "c": np.array([0])},
+                np.array([0, 1]),
+            )
+
+    def test_append_dataset(self):
+        rng = np.random.default_rng(1)
+        cols, groups = _chunk(rng, 20)
+        ds = Dataset(SCHEMA, cols, groups, GROUPS)
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=50)
+        window.append_dataset(ds)
+        assert len(window) == 20
+
+    def test_append_dataset_schema_mismatch(self):
+        other = Schema.of([Attribute.continuous("y")])
+        ds = Dataset(
+            other, {"y": np.zeros(3)}, np.zeros(3, dtype=int), GROUPS
+        )
+        window = SlidingWindow(SCHEMA, GROUPS, capacity=50)
+        with pytest.raises(DatasetError, match="schema"):
+            window.append_dataset(ds)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(SCHEMA, GROUPS, capacity=0)
+
+
+class TestStreamingMiner:
+    def _miner(self, **kwargs):
+        defaults = dict(
+            config=MinerConfig(k=10, max_tree_depth=1),
+            window_size=2000,
+            refresh_every=500,
+            min_rows=300,
+        )
+        defaults.update(kwargs)
+        return StreamingContrastMiner(SCHEMA, GROUPS, **defaults)
+
+    def test_no_refresh_before_min_rows(self):
+        rng = np.random.default_rng(2)
+        miner = self._miner()
+        update = miner.update(*_chunk(rng, 100))
+        assert not update.refreshed
+        assert update.patterns == []
+
+    def test_first_refresh_reports_all_as_emerged(self):
+        rng = np.random.default_rng(3)
+        miner = self._miner()
+        update = miner.update(*_chunk(rng, 600, boundary=0.5))
+        assert update.refreshed
+        assert update.patterns
+        assert update.emerged == update.patterns
+        assert update.vanished == []
+
+    def test_stable_stream_reports_no_drift(self):
+        rng = np.random.default_rng(4)
+        miner = self._miner()
+        miner.update(*_chunk(rng, 600, boundary=0.5))
+        update = miner.update(*_chunk(rng, 600, boundary=0.5))
+        assert update.refreshed
+        assert not update.drifted
+
+    def test_drift_detected_when_contrast_appears(self):
+        rng = np.random.default_rng(5)
+        miner = self._miner(window_size=1200)
+        first = miner.update(*_chunk(rng, 600))  # noise
+        assert first.refreshed
+        assert first.patterns == []
+        # the planted boundary appears; after the window fills with the
+        # new regime the contrast must emerge
+        update = miner.update(*_chunk(rng, 1200, boundary=0.5))
+        assert update.refreshed
+        assert update.emerged
+        assert any(
+            p.itemset.item_for("x") is not None for p in update.emerged
+        )
+
+    def test_drift_detected_when_contrast_vanishes(self):
+        rng = np.random.default_rng(6)
+        miner = self._miner(window_size=1200)
+        seeded = miner.update(*_chunk(rng, 1200, boundary=0.5))
+        assert seeded.patterns
+        update = miner.update(*_chunk(rng, 1200))  # noise flushes window
+        assert update.refreshed
+        assert update.vanished
+        assert update.patterns == []
+
+    def test_refresh_interval_respected(self):
+        rng = np.random.default_rng(7)
+        miner = self._miner(refresh_every=1000, min_rows=100)
+        first = miner.update(*_chunk(rng, 200, boundary=0.5))
+        assert first.refreshed  # first refresh happens once min_rows met
+        second = miner.update(*_chunk(rng, 200, boundary=0.5))
+        assert not second.refreshed  # only 200 of 1000 new rows
+        third = miner.update(*_chunk(rng, 900, boundary=0.5))
+        assert third.refreshed
+
+    def test_update_dataset_helper(self):
+        rng = np.random.default_rng(8)
+        cols, groups = _chunk(rng, 400, boundary=0.5)
+        ds = Dataset(SCHEMA, cols, groups, GROUPS)
+        miner = self._miner(min_rows=100)
+        update = miner.update_dataset(ds)
+        assert update.refreshed
+        assert update.patterns
+
+    def test_single_group_window_not_mined(self):
+        rng = np.random.default_rng(9)
+        miner = self._miner(min_rows=100)
+        cols, __ = _chunk(rng, 400)
+        update = miner.update(cols, np.zeros(400, dtype=int))
+        assert update.refreshed
+        assert update.patterns == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._miner(refresh_every=0)

@@ -1,0 +1,80 @@
+"""Tests for the STUCCO categorical contrast-set miner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stucco import StuccoConfig, stucco
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+class TestStucco:
+    def test_finds_planted_contrast(self, categorical_dataset):
+        result = stucco(categorical_dataset)
+        assert result.patterns
+        best = result.patterns[0]
+        assert "tool = T1" in str(best.itemset)
+
+    def test_rejects_continuous(self, mixed_dataset):
+        with pytest.raises(ValueError, match="categorical"):
+            stucco(mixed_dataset, attributes=["x"])
+
+    def test_defaults_to_categorical_attributes(self, mixed_dataset):
+        # mixed dataset: continuous attrs are skipped automatically
+        result = stucco(mixed_dataset)
+        for pattern in result.patterns:
+            assert pattern.itemset.attributes == ("color",) or all(
+                a == "color" for a in pattern.itemset.attributes
+            )
+
+    def test_all_patterns_are_contrasts(self, categorical_dataset):
+        config = StuccoConfig()
+        result = stucco(categorical_dataset, config)
+        for pattern in result.patterns:
+            assert pattern.support_difference > config.delta
+
+    def test_k_truncation(self, categorical_dataset):
+        result = stucco(categorical_dataset, StuccoConfig(k=1))
+        assert len(result.patterns) <= 1
+
+    def test_sorted_by_difference(self, categorical_dataset):
+        result = stucco(categorical_dataset)
+        diffs = [p.support_difference for p in result.patterns]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_max_depth_one(self, categorical_dataset):
+        result = stucco(categorical_dataset, StuccoConfig(max_depth=1))
+        assert all(len(p.itemset) == 1 for p in result.patterns)
+
+    def test_no_contrast_in_noise(self):
+        rng = np.random.default_rng(9)
+        n = 500
+        schema = Schema.of([Attribute.categorical("c", ["a", "b", "c"])])
+        ds = Dataset(
+            schema,
+            {"c": rng.integers(0, 3, n)},
+            rng.integers(0, 2, n),
+            ["G1", "G2"],
+        )
+        result = stucco(ds)
+        assert result.patterns == []
+
+    def test_stats_recorded(self, categorical_dataset):
+        result = stucco(categorical_dataset)
+        assert result.stats.partitions_evaluated > 0
+        assert result.stats.elapsed_seconds > 0
+
+    def test_candidates_generated_once(self, categorical_dataset):
+        """Level-2 candidates must pair attributes in order, no dupes."""
+        result = stucco(categorical_dataset, StuccoConfig(max_depth=2))
+        seen = set()
+        for pattern in result.patterns:
+            assert pattern.itemset not in seen
+            seen.add(pattern.itemset)
+
+
+class TestTop:
+    def test_top_helper(self, categorical_dataset):
+        result = stucco(categorical_dataset)
+        assert len(result.top(1)) <= 1
+        assert result.top() == result.patterns

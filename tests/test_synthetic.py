@@ -1,0 +1,137 @@
+"""Tests for the simulated datasets and the paper's qualitative claims
+(Sections 4.4 and 5.1-5.4)."""
+
+import numpy as np
+import pytest
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.dataset import synthetic
+
+
+class TestGenerators:
+    def test_figure2_shape(self):
+        ds = synthetic.figure2_example(n=500)
+        assert ds.n_rows == 500
+        assert ds.schema.names == ("X",)
+        sizes = dict(zip(ds.group_labels, ds.group_sizes))
+        assert sizes["A"] == pytest.approx(10, abs=1)
+        # minority group confined to the top quarter
+        x = ds.column("X")
+        minority = x[ds.group_mask("A")]
+        assert minority.min() > 0.7
+
+    @pytest.mark.parametrize("maker", [
+        synthetic.simulated_dataset_1,
+        synthetic.simulated_dataset_2,
+        synthetic.simulated_dataset_3,
+        synthetic.simulated_dataset_4,
+    ])
+    def test_common_shape(self, maker):
+        ds = maker(n=400)
+        assert ds.n_rows == 400
+        assert ds.schema.names == ("Attribute 1", "Attribute 2")
+        assert ds.n_groups == 2
+
+    def test_determinism(self):
+        a = synthetic.simulated_dataset_2(n=300, seed=1)
+        b = synthetic.simulated_dataset_2(n=300, seed=1)
+        assert np.array_equal(a.column("Attribute 1"), b.column("Attribute 1"))
+
+    def test_seed_changes_data(self):
+        a = synthetic.simulated_dataset_2(n=300, seed=1)
+        b = synthetic.simulated_dataset_2(n=300, seed=2)
+        assert not np.array_equal(
+            a.column("Attribute 1"), b.column("Attribute 1")
+        )
+
+
+@pytest.fixture(scope="module")
+def miner():
+    return ContrastSetMiner(
+        MinerConfig(k=30, interest_measure="surprising")
+    )
+
+
+class TestPaperClaims:
+    def test_ds1_only_attribute1_boundary(self, miner):
+        """Section 5.1: SDAD-CS finds only the Attribute 1 split, with
+        PR = 1 on both sides, and does not combine the attributes."""
+        result = miner.mine(synthetic.simulated_dataset_1())
+        meaningful = result.meaningful()
+        assert meaningful
+        for pattern in meaningful:
+            assert pattern.itemset.attributes == ("Attribute 1",)
+            assert pattern.purity_ratio == pytest.approx(1.0)
+
+    def test_ds2_no_univariate_rule(self, miner):
+        """Section 5.2: no rule on a single attribute; the contrasts are
+        2-attribute boxes."""
+        result = miner.mine(synthetic.simulated_dataset_2())
+        assert result.patterns
+        for pattern in result.patterns:
+            assert len(pattern.itemset) == 2
+
+    def test_ds3_level1_only(self, miner):
+        """Section 5.3: contrasts at level 1 only, boundary near 0.5."""
+        result = miner.mine(synthetic.simulated_dataset_3())
+        meaningful = result.meaningful()
+        assert meaningful
+        for pattern in meaningful:
+            assert len(pattern.itemset) == 1
+            item = pattern.itemset.item_for("Attribute 1")
+            assert item is not None
+            assert (
+                abs(item.interval.lo - 0.5) < 0.05
+                or abs(item.interval.hi - 0.5) < 0.05
+            )
+
+    def test_ds4_finds_pure_boxes(self, miner):
+        """Section 5.4: the two planted group-2 boxes are found as pure
+        level-2 contrasts; univariate projections of the boxes are not
+        independently productive and get filtered."""
+        result = miner.mine(synthetic.simulated_dataset_4())
+        meaningful = result.meaningful()
+        pure_boxes = [
+            p
+            for p in meaningful
+            if len(p.itemset) == 2
+            and p.purity_ratio == pytest.approx(1.0)
+            and p.dominant_group == "Group 2"
+        ]
+        assert len(pure_boxes) == 2
+        # the boxes approximate [0,.25]x[0,.5] and [.75,1]x[.75,1]
+        corners = []
+        for p in pure_boxes:
+            i1 = p.itemset.item_for("Attribute 1").interval
+            i2 = p.itemset.item_for("Attribute 2").interval
+            corners.append((i1.lo, i1.hi, i2.lo, i2.hi))
+        corners.sort()
+        assert corners[0][1] == pytest.approx(0.25, abs=0.05)
+        assert corners[0][3] == pytest.approx(0.50, abs=0.05)
+        assert corners[1][0] == pytest.approx(0.75, abs=0.05)
+        assert corners[1][2] == pytest.approx(0.75, abs=0.05)
+
+    def test_ds4_level1_projections_filtered(self, miner):
+        """The level-1 contrast on Attribute 1 in [0, 0.25] exists in the
+        raw list but is explained by the box and must not be meaningful."""
+        result = miner.mine(synthetic.simulated_dataset_4())
+        meaningful = result.meaningful()
+        for pattern in meaningful:
+            if len(pattern.itemset) == 1:
+                # no surviving level-1 pattern may be dominated by group 2
+                # (group 2's mass is entirely inside the two boxes)
+                assert pattern.dominant_group == "Group 1"
+
+    def test_figure2_walkthrough(self, miner):
+        """Section 4.4: the left half is pure 'B'; the search isolates the
+        minority group's band on the right."""
+        result = miner.mine(synthetic.figure2_example())
+        assert result.patterns
+        # some pattern should concentrate group "A" (the 2% minority)
+        best_a = max(
+            result.patterns,
+            key=lambda p: p.support("A") - p.support("B"),
+        )
+        assert best_a.support("A") > 0.8
+        item = best_a.itemset.item_for("X")
+        assert item.interval.lo > 0.5

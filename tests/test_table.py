@@ -1,0 +1,224 @@
+"""Tests for repro.dataset.table.Dataset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset, DatasetError
+
+
+def _small_dataset():
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.categorical("c", ["a", "b"]),
+        ]
+    )
+    return Dataset(
+        schema,
+        {
+            "x": np.array([0.1, 0.5, 0.9, 0.3]),
+            "c": np.array([0, 1, 0, 1]),
+        },
+        np.array([0, 0, 1, 1]),
+        ["G1", "G2"],
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = _small_dataset()
+        assert ds.n_rows == 4
+        assert len(ds) == 4
+        assert ds.n_groups == 2
+        assert ds.group_sizes == (2, 2)
+
+    def test_missing_column(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="missing columns"):
+            Dataset(schema, {}, np.array([0]), ["G"])
+
+    def test_extra_column(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="not in schema"):
+            Dataset(
+                schema,
+                {"x": np.array([1.0]), "y": np.array([1.0])},
+                np.array([0]),
+                ["G"],
+            )
+
+    def test_length_mismatch(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="rows"):
+            Dataset(
+                schema, {"x": np.array([1.0, 2.0])}, np.array([0]), ["G"]
+            )
+
+    def test_group_code_out_of_range(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="out of range"):
+            Dataset(schema, {"x": np.array([1.0])}, np.array([5]), ["G"])
+
+    def test_categorical_code_out_of_range(self):
+        schema = Schema.of([Attribute.categorical("c", ["a"])])
+        with pytest.raises(DatasetError, match="out of range"):
+            Dataset(schema, {"c": np.array([3])}, np.array([0]), ["G"])
+
+    def test_categorical_requires_int_codes(self):
+        schema = Schema.of([Attribute.categorical("c", ["a"])])
+        with pytest.raises(DatasetError, match="codes"):
+            Dataset(schema, {"c": np.array([0.5])}, np.array([0]), ["G"])
+
+    def test_duplicate_group_labels(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="duplicate"):
+            Dataset(
+                schema, {"x": np.array([1.0])}, np.array([0]), ["G", "G"]
+            )
+
+    def test_from_records(self):
+        schema = Schema.of(
+            [
+                Attribute.continuous("x"),
+                Attribute.categorical("c", ["a", "b"]),
+            ]
+        )
+        ds = Dataset.from_records(
+            [
+                {"x": 1.5, "c": "a", "group": "G1"},
+                {"x": 2.5, "c": "b", "group": "G2"},
+            ],
+            schema,
+        )
+        assert ds.n_rows == 2
+        assert ds.group_labels == ("G1", "G2")
+        assert ds.column("x")[0] == pytest.approx(1.5)
+        assert ds.column("c")[1] == 1
+
+    def test_from_records_unknown_group(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        with pytest.raises(DatasetError, match="unknown group"):
+            Dataset.from_records(
+                [{"x": 1, "group": "Z"}], schema, group_labels=["A"]
+            )
+
+
+class TestAccessors:
+    def test_columns_read_only(self):
+        ds = _small_dataset()
+        with pytest.raises(ValueError):
+            ds.column("x")[0] = 99.0
+        with pytest.raises(ValueError):
+            ds.group_codes[0] = 1
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            _small_dataset().column("nope")
+
+    def test_group_info(self):
+        info = _small_dataset().group_info
+        assert info.n_groups == 2
+        assert info.size_of("G1") == 2
+
+    def test_group_index_and_mask(self):
+        ds = _small_dataset()
+        assert ds.group_index("G2") == 1
+        assert ds.group_mask("G1").sum() == 2
+        with pytest.raises(DatasetError):
+            ds.group_index("nope")
+
+
+class TestCounting:
+    def test_group_counts_full(self):
+        ds = _small_dataset()
+        assert list(ds.group_counts()) == [2, 2]
+
+    def test_group_counts_masked(self):
+        ds = _small_dataset()
+        mask = np.array([True, False, True, False])
+        assert list(ds.group_counts(mask)) == [1, 1]
+
+    def test_group_counts_bad_mask(self):
+        ds = _small_dataset()
+        with pytest.raises(DatasetError):
+            ds.group_counts(np.array([1, 0, 1, 0]))
+        with pytest.raises(DatasetError):
+            ds.group_counts(np.array([True]))
+
+    def test_supports(self):
+        ds = _small_dataset()
+        mask = np.array([True, True, True, False])
+        supports = ds.supports(mask)
+        assert supports[0] == pytest.approx(1.0)
+        assert supports[1] == pytest.approx(0.5)
+
+    def test_supports_empty_group(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema, {"x": np.array([1.0])}, np.array([0]), ["A", "B"]
+        )
+        assert ds.supports()[1] == 0.0
+
+
+class TestRestriction:
+    def test_restrict(self):
+        ds = _small_dataset()
+        sub = ds.restrict(np.array([True, False, False, True]))
+        assert sub.n_rows == 2
+        assert list(sub.column("x")) == pytest.approx([0.1, 0.3])
+        assert sub.group_labels == ds.group_labels
+
+    def test_select_groups_recode(self):
+        schema = Schema.of([Attribute.continuous("x")])
+        ds = Dataset(
+            schema,
+            {"x": np.arange(6, dtype=float)},
+            np.array([0, 1, 2, 0, 1, 2]),
+            ["A", "B", "C"],
+        )
+        sub = ds.select_groups(["C", "A"])
+        assert sub.group_labels == ("C", "A")
+        assert sub.n_rows == 4
+        assert sub.group_sizes == (2, 2)
+        # rows with original group C must now have code 0
+        assert list(sub.column("x")[sub.group_codes == 0]) == [2.0, 5.0]
+
+    def test_project(self):
+        ds = _small_dataset()
+        sub = ds.project(["c"])
+        assert sub.schema.names == ("c",)
+        assert sub.n_rows == 4
+        assert sub.group_sizes == ds.group_sizes
+
+    def test_describe_mentions_groups(self):
+        text = _small_dataset().describe()
+        assert "G1=2" in text and "G2=2" in text
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    codes=st.lists(st.integers(0, 2), min_size=1, max_size=60),
+    data=st.data(),
+)
+def test_supports_match_manual_count(codes, data):
+    """Property: supports equal manual per-group count ratios."""
+    n = len(codes)
+    mask = np.array(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    )
+    schema = Schema.of([Attribute.continuous("x")])
+    ds = Dataset(
+        schema,
+        {"x": np.zeros(n)},
+        np.array(codes),
+        ["A", "B", "C"],
+    )
+    supports = ds.supports(mask)
+    for g in range(3):
+        size = codes.count(g)
+        hit = sum(1 for c, m in zip(codes, mask) if c == g and m)
+        expected = hit / size if size else 0.0
+        assert supports[g] == pytest.approx(expected)

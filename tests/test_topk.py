@@ -1,0 +1,101 @@
+"""Tests for repro.core.topk.TopKList."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contrast import ContrastPattern
+from repro.core.items import CategoricalItem, Itemset
+from repro.core.topk import TopKList
+
+
+def _pattern(tag: str):
+    return ContrastPattern(
+        itemset=Itemset([CategoricalItem("c", tag)]),
+        counts=(1, 2),
+        group_sizes=(10, 10),
+        group_labels=("A", "B"),
+    )
+
+
+class TestTopKList:
+    def test_threshold_before_full_is_delta(self):
+        topk = TopKList(3, delta=0.1)
+        assert topk.threshold == 0.1
+        topk.add(_pattern("a"), 0.5)
+        assert topk.threshold == 0.1
+
+    def test_threshold_after_full_is_kth_best(self):
+        topk = TopKList(2, delta=0.1)
+        topk.add(_pattern("a"), 0.5)
+        topk.add(_pattern("b"), 0.3)
+        assert topk.threshold == pytest.approx(0.3)
+
+    def test_eviction_keeps_best(self):
+        topk = TopKList(2)
+        topk.add(_pattern("a"), 0.5)
+        topk.add(_pattern("b"), 0.3)
+        topk.add(_pattern("c"), 0.4)
+        kept = [p.itemset for p in topk.patterns()]
+        assert _pattern("a").itemset in kept
+        assert _pattern("c").itemset in kept
+        assert _pattern("b").itemset not in kept
+
+    def test_rejects_below_threshold_when_full(self):
+        topk = TopKList(1)
+        topk.add(_pattern("a"), 0.5)
+        assert not topk.add(_pattern("b"), 0.4)
+        assert len(topk) == 1
+
+    def test_duplicate_itemset_keeps_max(self):
+        topk = TopKList(5)
+        p = _pattern("a")
+        topk.add(p, 0.3)
+        topk.add(p, 0.6)
+        topk.add(p, 0.4)
+        assert len(topk) == 1
+        assert topk.interests()[p.itemset] == pytest.approx(0.6)
+
+    def test_patterns_sorted_descending(self):
+        topk = TopKList(10)
+        for tag, interest in [("a", 0.2), ("b", 0.9), ("c", 0.5)]:
+            topk.add(_pattern(tag), interest)
+        interests = [topk.interests()[p.itemset] for p in topk.patterns()]
+        assert interests == sorted(interests, reverse=True)
+
+    def test_would_accept(self):
+        topk = TopKList(1, delta=0.1)
+        assert topk.would_accept(0.05)  # not full yet
+        topk.add(_pattern("a"), 0.5)
+        assert not topk.would_accept(0.4)
+        assert topk.would_accept(0.6)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopKList(0)
+
+    def test_iter(self):
+        topk = TopKList(5)
+        topk.add(_pattern("a"), 0.5)
+        assert len(list(topk)) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    interests=st.lists(
+        st.floats(0.001, 1.0, allow_nan=False), min_size=1, max_size=40
+    ),
+    k=st.integers(1, 10),
+)
+def test_topk_matches_sorted_truncation(interests, k):
+    """Property: TopKList contents equal the k largest distinct inserts."""
+    topk = TopKList(k)
+    for i, interest in enumerate(interests):
+        topk.add(_pattern(f"p{i}"), interest)
+    result = sorted(
+        (topk.interests()[p.itemset] for p in topk.patterns()),
+        reverse=True,
+    )
+    expected = sorted(interests, reverse=True)[:k]
+    assert len(result) == min(k, len(interests))
+    assert result == pytest.approx(expected)

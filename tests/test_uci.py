@@ -1,0 +1,139 @@
+"""Tests for the UCI stand-in generators (Table 2 fidelity + planted
+structure)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import uci
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(uci.DATASET_REGISTRY))
+    def test_table2_shape(self, name):
+        ds = uci.load(name)
+        labels, _, n_features, n_continuous = uci.TABLE2_SHAPES[name]
+        assert ds.group_labels == labels
+        assert len(ds.schema) == n_features
+        assert len(ds.schema.continuous_names) == n_continuous
+
+    @pytest.mark.parametrize(
+        "name", ["adult", "breast_cancer", "mammography", "transfusion",
+                 "spambase", "ionosphere"]
+    )
+    def test_full_scale_row_counts(self, name):
+        ds = uci.load(name)
+        _, (n0, n1), _, _ = uci.TABLE2_SHAPES[name]
+        assert ds.group_sizes == (n0, n1)
+
+    def test_scaled_datasets_preserve_ratio(self):
+        ds = uci.shuttle(scale=0.1)
+        _, (n0, n1), _, _ = uci.TABLE2_SHAPES["shuttle"]
+        assert ds.group_sizes[0] / ds.group_sizes[1] == pytest.approx(
+            n0 / n1, rel=0.05
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            uci.load("nope")
+
+    def test_determinism(self):
+        a = uci.transfusion()
+        b = uci.transfusion()
+        assert np.array_equal(
+            a.column("recency_months"), b.column("recency_months")
+        )
+
+
+class TestAdultStructure:
+    """The Figure 4 / Table 1 / Table 3 anchors."""
+
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return uci.adult()
+
+    def test_young_doctorates_absent(self, ds):
+        age = ds.column("age")
+        mask = (age > 18) & (age <= 26)
+        supports = ds.supports(mask)
+        # Table 1 row 1: supp(Doc) = 0, supp(Bach) ~ 0.16
+        assert supports[1] < 0.005
+        assert 0.05 < supports[0] < 0.3
+
+    def test_older_range_doctorate_heavy(self, ds):
+        age = ds.column("age")
+        mask = (age > 47) & (age <= 90)
+        supports = ds.supports(mask)
+        # Table 1 row 2: supp(Doc) ~ 0.48 vs supp(Bach) ~ 0.22
+        assert supports[1] > supports[0]
+        assert supports[1] > 0.35
+
+    def test_long_hours_doctorate_heavy(self, ds):
+        hours = ds.column("hours-per-week")
+        mask = (hours > 50) & (hours <= 99)
+        supports = ds.supports(mask)
+        assert supports[1] > supports[0]
+
+    def test_age_hours_interaction(self, ds):
+        """Table 1 row 5: prime-age doctorates working 50+ hours is a
+        higher-purity contrast than either marginal."""
+        age = ds.column("age")
+        hours = ds.column("hours-per-week")
+        joint = (age > 49) & (age <= 69) & (hours > 50)
+        supports = ds.supports(joint)
+        assert supports[1] > 3 * supports[0]
+
+    def test_prof_specialty_supports(self, ds):
+        attr = ds.attribute("occupation")
+        mask = ds.column("occupation") == attr.code_of("Prof-specialty")
+        supports = ds.supports(mask)
+        # Table 3: 0.76 vs 0.28
+        assert supports[1] == pytest.approx(0.76, abs=0.05)
+        assert supports[0] == pytest.approx(0.28, abs=0.05)
+
+    def test_sex_and_class_supports(self, ds):
+        sex = ds.attribute("sex")
+        male = ds.supports(ds.column("sex") == sex.code_of("Male"))
+        assert male[1] == pytest.approx(0.81, abs=0.05)
+        assert male[0] == pytest.approx(0.69, abs=0.05)
+        klass = ds.attribute("class")
+        rich = ds.supports(ds.column("class") == klass.code_of(">50K"))
+        assert rich[1] == pytest.approx(0.73, abs=0.05)
+        assert rich[0] == pytest.approx(0.41, abs=0.05)
+
+
+class TestShuttleStructure:
+    def test_quoted_level1_contrasts(self):
+        ds = uci.shuttle()
+        attr1 = ds.supports(ds.column("Attr_1") <= 54)
+        # paper: 0.91 vs 0.01
+        assert attr1[0] == pytest.approx(0.91, abs=0.04)
+        assert attr1[1] < 0.05
+        attr9 = ds.supports(ds.column("Attr_9") <= 2)
+        # paper: 0.77 vs 0
+        assert attr9[0] == pytest.approx(0.77, abs=0.04)
+        assert attr9[1] < 0.01
+
+
+class TestSignalBands:
+    """Separability ordering must match the Table 4 bands: strong
+    (breast, ionosphere, shuttle) > weak (credit card, transfusion)."""
+
+    @staticmethod
+    def _best_level1_diff(ds, attributes=None):
+        from repro.core.items import Itemset
+        from repro.core.sdad import sdad_cs
+        from repro.core.config import MinerConfig
+
+        best = 0.0
+        names = attributes or ds.schema.continuous_names[:8]
+        for name in names:
+            result = sdad_cs(ds, Itemset(), [name], MinerConfig(k=10))
+            for pattern in result.patterns:
+                best = max(best, pattern.support_difference)
+        return best
+
+    def test_strong_vs_weak(self):
+        strong = self._best_level1_diff(uci.breast_cancer())
+        weak = self._best_level1_diff(uci.credit_card(scale=0.05))
+        assert strong > 0.6
+        assert strong > weak
