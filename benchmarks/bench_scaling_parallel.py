@@ -17,7 +17,7 @@ import pytest
 from repro.core.config import MinerConfig
 from repro.core.miner import ContrastSetMiner
 from repro.dataset.manufacturing import scaling_dataset
-from repro.parallel import mine_parallel
+
 
 SIZES = (5_000, 25_000, 50_000)
 N_FEATURES = 120
@@ -33,7 +33,7 @@ def scaling_runs(full_scale):
     for n in sizes:
         dataset = scaling_dataset(n, n_features=N_FEATURES)
         start = time.perf_counter()
-        result = mine_parallel(dataset, CONFIG, n_workers=4)
+        result = ContrastSetMiner(CONFIG).mine(dataset, n_jobs=4)
         elapsed = time.perf_counter() - start
         rows.append((n, elapsed, result))
     return rows
@@ -42,10 +42,9 @@ def scaling_runs(full_scale):
 def test_scaling_parallel(benchmark, scaling_runs, report):
     smallest = scaling_runs[0][0]
     benchmark.pedantic(
-        lambda: mine_parallel(
+        lambda: ContrastSetMiner(CONFIG).mine(
             scaling_dataset(smallest, n_features=N_FEATURES),
-            CONFIG,
-            n_workers=4,
+            n_jobs=4,
         ),
         rounds=1,
         iterations=1,
@@ -80,7 +79,7 @@ def test_parallel_agrees_with_serial(benchmark, report):
 
     def run():
         serial = ContrastSetMiner(CONFIG).mine(dataset)
-        parallel = mine_parallel(dataset, CONFIG, n_workers=4)
+        parallel = ContrastSetMiner(CONFIG).mine(dataset, n_jobs=4)
         return serial, parallel
 
     serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)

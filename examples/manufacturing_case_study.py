@@ -16,7 +16,6 @@ import time
 from repro import ContrastSetMiner, MinerConfig
 from repro.analysis import briefing, pattern_table
 from repro.dataset.manufacturing import manufacturing, scaling_dataset
-from repro.parallel import mine_parallel
 
 
 def main() -> None:
@@ -78,9 +77,9 @@ def main() -> None:
     print("\nLevel-parallel scaling run (Section 6 strategy):")
     trace = scaling_dataset(20_000, n_features=40)
     t0 = time.perf_counter()
-    parallel = mine_parallel(
-        trace, MinerConfig(k=20, max_tree_depth=2), n_workers=4
-    )
+    parallel = ContrastSetMiner(
+        MinerConfig(k=20, max_tree_depth=2)
+    ).mine(trace, n_jobs=4)
     elapsed = time.perf_counter() - t0
     print(
         f"  {trace.n_rows} rows x {len(trace.schema)} features: "

@@ -18,7 +18,7 @@ Quickstart::
 from .core.config import MinerConfig
 from .core.contrast import ContrastPattern
 from .core.items import CategoricalItem, Interval, Itemset, NumericItem
-from .core.miner import ContrastSetMiner, MiningResult
+from .core.miner import ContrastSetMiner, MiningResult, MiningSummary
 from .core.sdad import sdad_cs
 from .dataset.schema import Attribute, AttributeKind, Schema
 from .dataset.table import Dataset
@@ -34,6 +34,7 @@ __all__ = [
     "NumericItem",
     "ContrastSetMiner",
     "MiningResult",
+    "MiningSummary",
     "sdad_cs",
     "Attribute",
     "AttributeKind",

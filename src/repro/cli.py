@@ -80,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
             nargs="+",
             help="restrict the search to these attributes",
         )
+        p.add_argument(
+            "--backend",
+            default="mask",
+            choices=("mask", "bitmap"),
+            help=(
+                "support-counting backend: 'mask' (boolean masks) or "
+                "'bitmap' (packed bit-vectors, faster on "
+                "categorical-heavy data)"
+            ),
+        )
 
     info = sub.add_parser("info", help="describe a dataset")
     add_io(info)
@@ -87,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine = sub.add_parser("mine", help="mine contrast patterns")
     add_io(mine)
     add_miner_options(mine)
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
+    mine.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes (>1 uses the level-parallel scheduler)",
+    )
     mine.add_argument(
         "--all",
         action="store_true",
@@ -164,6 +186,7 @@ def _config(args) -> MinerConfig:
         k=args.k,
         max_tree_depth=args.depth,
         interest_measure=args.measure,
+        counting_backend=args.backend,
     )
 
 
@@ -197,7 +220,7 @@ def _cmd_mine(args) -> int:
         mine_on, holdout = train_holdout_split(dataset, args.validate)
 
     result = ContrastSetMiner(config).mine(
-        mine_on, attributes=args.attributes
+        mine_on, attributes=args.attributes, n_jobs=args.jobs
     )
     if args.show_all:
         patterns = result.top(args.top)
@@ -229,11 +252,22 @@ def _cmd_mine(args) -> int:
     else:
         print(pattern_table(patterns, title=title))
     stats = result.stats
-    print(
+    line = (
         f"\n{len(result)} patterns; "
         f"{stats.partitions_evaluated} partitions evaluated, "
-        f"{stats.spaces_pruned} pruned, {stats.elapsed_seconds:.2f}s"
+        f"{stats.spaces_pruned} pruned, {stats.elapsed_seconds:.2f}s "
+        f"[{stats.counting_backend} backend, "
+        f"{stats.count_calls} count calls"
     )
+    if stats.counting_backend == "bitmap":
+        line += (
+            f", cache {stats.cache_hits} hits / "
+            f"{stats.cache_misses} misses"
+        )
+    line += "]"
+    if result.n_workers > 1:
+        line += f" ({result.n_workers} workers)"
+    print(line)
     return 0
 
 

@@ -62,6 +62,11 @@ class MinerConfig:
     """Where to split a continuous attribute inside the current region:
     ``"median"`` (the paper's choice) or ``"mean"`` (Section 4.1 mentions
     both; the ablation bench compares them)."""
+    counting_backend: str = "mask"
+    """Support-counting backend: ``"mask"`` (boolean masks, the reference
+    path) or ``"bitmap"`` (packed bit-vectors + per-group popcount with a
+    context-coverage cache — the fast path for categorical-heavy data).
+    See :mod:`repro.counting`."""
     merge: bool = True
     merge_alpha: float = 0.05
     min_expected_count: float = 5.0
@@ -92,6 +97,10 @@ class MinerConfig:
             raise ValueError("k must be >= 1")
         if self.split_statistic not in ("median", "mean"):
             raise ValueError("split_statistic must be 'median' or 'mean'")
+        if self.counting_backend not in ("mask", "bitmap"):
+            raise ValueError(
+                "counting_backend must be 'mask' or 'bitmap'"
+            )
 
     def no_pruning(self) -> "MinerConfig":
         """The SDAD-CS NP configuration: same engine, all novel pruning

@@ -24,6 +24,20 @@ class MiningStats:
     candidates_generated: int = 0
     nodes_expanded: int = 0
     elapsed_seconds: float = 0.0
+    counting_backend: str = "mask"
+    """Name of the support-counting backend that produced the counts."""
+    count_calls: int = 0
+    """Raw backend counting calls (itemset and mask group-counts alike)."""
+    cache_hits: int = 0
+    """Context-coverage cache hits (bitmap backend; 0 for mask)."""
+    cache_misses: int = 0
+    """Context-coverage cache misses (bitmap backend; 0 for mask)."""
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of context-cache lookups served from cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def merge_from(self, other: "MiningStats") -> None:
         """Accumulate counters from a sub-run (used by the parallel driver)."""
@@ -33,6 +47,9 @@ class MiningStats:
         self.merges_performed += other.merges_performed
         self.candidates_generated += other.candidates_generated
         self.nodes_expanded += other.nodes_expanded
+        self.count_calls += other.count_calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
 
 
 class Stopwatch:

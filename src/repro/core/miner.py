@@ -1,28 +1,51 @@
 """High-level mining facade.
 
 :class:`ContrastSetMiner` ties together the level-wise search, SDAD-CS, the
-top-k list, and the meaningfulness post-filters; it is the public entry
-point a downstream user calls::
+top-k list, and the meaningfulness post-filters; it is the single public
+entry point a downstream user calls::
 
     miner = ContrastSetMiner(MinerConfig(interest_measure="surprising"))
     result = miner.mine(dataset, groups=("Doctorate", "Bachelors"))
     for pattern in result.meaningful():
         print(pattern.describe())
+
+Pass ``n_jobs > 1`` to the same call to run the level-parallel scheduler
+(paper Section 6) instead of the serial engine — the result type is the
+same either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..dataset.table import Dataset
 from .config import MinerConfig
 from .contrast import ContrastPattern
 from .instrumentation import MiningStats, Stopwatch
+from .items import Itemset
 from .meaningful import MeaningfulnessReport, classify_patterns
 from .search import SearchEngine
 
-__all__ = ["ContrastSetMiner", "MiningResult"]
+__all__ = ["ContrastSetMiner", "MiningResult", "MiningSummary"]
+
+
+@dataclass(frozen=True)
+class MiningSummary:
+    """Compact, printable digest of a mining run."""
+
+    n_patterns: int
+    n_rows: int
+    n_groups: int
+    group_labels: tuple[str, ...]
+    partitions_evaluated: int
+    spaces_pruned: int
+    elapsed_seconds: float
+    counting_backend: str
+    count_calls: int
+    cache_hits: int
+    cache_misses: int
+    n_workers: int
 
 
 @dataclass
@@ -30,10 +53,11 @@ class MiningResult:
     """Everything a mining run produced."""
 
     patterns: list[ContrastPattern]
-    interests: dict
+    interests: dict[Itemset, float]
     stats: MiningStats
     config: MinerConfig
     dataset: Dataset
+    n_workers: int = 1
 
     def top(self, n: int | None = None) -> list[ContrastPattern]:
         """The best ``n`` patterns by the configured interest measure."""
@@ -41,6 +65,23 @@ class MiningResult:
 
     def interest_of(self, pattern: ContrastPattern) -> float:
         return self.interests[pattern.itemset]
+
+    def summary(self) -> MiningSummary:
+        """Stats and row counts of the run in one small dataclass."""
+        return MiningSummary(
+            n_patterns=len(self.patterns),
+            n_rows=self.dataset.n_rows,
+            n_groups=self.dataset.n_groups,
+            group_labels=tuple(self.dataset.group_labels),
+            partitions_evaluated=self.stats.partitions_evaluated,
+            spaces_pruned=self.stats.spaces_pruned,
+            elapsed_seconds=self.stats.elapsed_seconds,
+            counting_backend=self.stats.counting_backend,
+            count_calls=self.stats.count_calls,
+            cache_hits=self.stats.cache_hits,
+            cache_misses=self.stats.cache_misses,
+            n_workers=self.n_workers,
+        )
 
     def meaningfulness(
         self, alpha: float | None = None
@@ -71,6 +112,7 @@ class ContrastSetMiner:
         dataset: Dataset,
         groups: Sequence[str] | None = None,
         attributes: Sequence[str] | None = None,
+        n_jobs: int = 1,
     ) -> MiningResult:
         """Mine contrast patterns between groups of a dataset.
 
@@ -84,19 +126,37 @@ class ContrastSetMiner:
             to all groups in the dataset.
         attributes:
             Optional subset of attributes to search over; defaults to all.
+        n_jobs:
+            Number of worker processes.  ``1`` (the default) runs the
+            serial engine; ``> 1`` routes through the level-parallel
+            scheduler of :mod:`repro.parallel`, which can evaluate
+            slightly more partitions (some cross-subtree pruning is lost
+            within a level) while producing the same contrasts.
         """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         if groups is not None:
             dataset = dataset.select_groups(groups)
         if dataset.n_groups < 2:
             raise ValueError("contrast mining needs at least two groups")
-        engine = SearchEngine(dataset, self.config, attributes)
-        with Stopwatch(engine.stats):
-            topk = engine.run()
-        patterns = topk.patterns()
+        if n_jobs > 1:
+            # imported lazily: repro.parallel pulls in multiprocessing
+            # machinery serial users never need
+            from ..parallel.scheduler import parallel_search
+
+            topk, stats, n_workers = parallel_search(
+                dataset, self.config, attributes, n_jobs
+            )
+        else:
+            engine = SearchEngine(dataset, self.config, attributes)
+            with Stopwatch(engine.stats):
+                topk = engine.run()
+            stats, n_workers = engine.stats, 1
         return MiningResult(
-            patterns=patterns,
+            patterns=topk.patterns(),
             interests=topk.interests(),
-            stats=engine.stats,
+            stats=stats,
             config=self.config,
             dataset=dataset,
+            n_workers=n_workers,
         )

@@ -157,11 +157,14 @@ def full_space(
     dataset: Dataset,
     attributes: Sequence[str],
     context_mask: np.ndarray,
+    backend=None,
 ) -> Space:
     """The level-0 space: each attribute's full observed range.
 
     The root interval is closed on both sides so the attribute minimum is
     covered; all descendant left-open splits inherit correct closure.
+    ``backend`` optionally routes the group counting through a
+    :class:`repro.counting.CountingBackend`.
     """
     intervals: dict[str, Interval] = {}
     ranges: dict[str, AttributeRange] = {}
@@ -169,7 +172,10 @@ def full_space(
         rng = AttributeRange.of(dataset, name)
         ranges[name] = rng
         intervals[name] = Interval(rng.lo, rng.hi, True, True)
-    counts = dataset.group_counts(context_mask)
+    if backend is not None:
+        counts = backend.mask_group_counts(context_mask)
+    else:
+        counts = dataset.group_counts(context_mask)
     return Space(intervals, context_mask, counts, ranges)
 
 
@@ -221,12 +227,14 @@ def find_combinations(
     dataset: Dataset,
     space: Space,
     splits: Mapping[str, tuple[Interval, Interval]],
+    backend=None,
 ) -> list[Space]:
     """All combinations of the per-attribute halves (``find_combs``).
 
     Attributes without a split keep their current interval.  With ``k``
     split attributes this yields ``2^k`` child spaces; their masks partition
-    the parent's mask.
+    the parent's mask.  ``backend`` optionally routes the per-space group
+    counting through a :class:`repro.counting.CountingBackend`.
     """
     choices: list[tuple[str, tuple[Interval, ...]]] = []
     for name in space.attributes:
@@ -235,6 +243,11 @@ def find_combinations(
         else:
             choices.append((name, (space.intervals[name],)))
 
+    count_of = (
+        backend.mask_group_counts
+        if backend is not None
+        else dataset.group_counts
+    )
     children: list[Space] = []
     for combo in itertools.product(*(c[1] for c in choices)):
         intervals = {name: iv for (name, _), iv in zip(choices, combo)}
@@ -242,8 +255,9 @@ def find_combinations(
         for (name, options), interval in zip(choices, combo):
             if len(options) > 1:  # only intersect the changed axes
                 mask = mask & interval.cover(dataset.column(name))
-        counts = dataset.group_counts(mask)
-        children.append(Space(intervals, mask, counts, space.ranges))
+        children.append(
+            Space(intervals, mask, count_of(mask), space.ranges)
+        )
     return children
 
 

@@ -78,6 +78,7 @@ class _SDADRun:
         prune_table: PruneTable,
         base_level: int = 0,
         known_pure: Sequence[Itemset] = (),
+        backend=None,
     ) -> None:
         self.dataset = dataset
         self.categorical = categorical
@@ -89,6 +90,12 @@ class _SDADRun:
         self.prune_table = prune_table
         self.base_level = base_level
         self.known_pure = tuple(known_pure)
+        if backend is None:
+            # imported lazily to avoid a module cycle with repro.counting
+            from ..counting.mask import MaskBackend
+
+            backend = MaskBackend(dataset)
+        self.backend = backend
         self.measure = measures.get(config.interest_measure)
         self.result = SDADResult()
         self.pattern_level = base_level + len(self.continuous)
@@ -140,18 +147,20 @@ class _SDADRun:
                 splits[name] = halves
         if not splits:
             return []
-        return find_combinations(self.dataset, space, splits)
+        return find_combinations(self.dataset, space, splits, self.backend)
 
     # -- the recursion ----------------------------------------------------
 
     def run(self) -> SDADResult:
         self.stats.sdad_calls += 1
         context_mask = (
-            self.categorical.cover(self.dataset)
+            self.backend.cover(self.categorical)
             if len(self.categorical)
             else np.ones(self.dataset.n_rows, dtype=bool)
         )
-        root = full_space(self.dataset, self.continuous, context_mask)
+        root = full_space(
+            self.dataset, self.continuous, context_mask, self.backend
+        )
         if root.total_count == 0:
             return self.result
         self.root_intervals = dict(root.intervals)
@@ -375,6 +384,7 @@ def sdad_cs(
     prune_table: PruneTable | None = None,
     base_level: int = 0,
     known_pure: Sequence[Itemset] = (),
+    backend=None,
 ) -> SDADResult:
     """Run SDAD-CS for one attribute combination.
 
@@ -400,6 +410,10 @@ def sdad_cs(
     known_pure:
         PR = 1 itemsets discovered earlier in the search; boxes inside
         those regions are pruned (pure-space pruning, Section 4.3).
+    backend:
+        Optional :class:`repro.counting.CountingBackend` that performs all
+        support counting (context coverage and per-space group counts);
+        defaults to a fresh mask backend.
 
     Returns
     -------
@@ -424,5 +438,6 @@ def sdad_cs(
         prune_table or PruneTable(),
         base_level=base_level,
         known_pure=known_pure,
+        backend=backend,
     )
     return run.run()

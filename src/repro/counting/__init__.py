@@ -1,0 +1,56 @@
+"""Pluggable support-counting backends.
+
+The miners delegate all support counting — itemset contingency rows and
+mask-restricted group counts — to a :class:`~repro.counting.base.
+CountingBackend`.  Two implementations ship:
+
+``mask``
+    :class:`~repro.counting.mask.MaskBackend` — boolean masks over numpy
+    columns; the historical reference path and the default.
+``bitmap``
+    :class:`~repro.counting.bitmap.BitmapBackend` — packed bit-vectors with
+    per-group popcounts and an LRU cache of categorical-context coverage
+    vectors; the fast path for categorical-heavy workloads.
+
+Select one via ``MinerConfig(counting_backend="bitmap")`` or the CLI's
+``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+from .base import BackendCounters, CountingBackend, CountingBackendBase
+from .bitmap import BitmapBackend
+from .mask import MaskBackend
+
+__all__ = [
+    "BackendCounters",
+    "CountingBackend",
+    "CountingBackendBase",
+    "MaskBackend",
+    "BitmapBackend",
+    "BACKENDS",
+    "available_backends",
+    "make_backend",
+]
+
+BACKENDS: dict[str, type] = {
+    MaskBackend.name: MaskBackend,
+    BitmapBackend.name: BitmapBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(BACKENDS))
+
+
+def make_backend(name: str, dataset, **kwargs) -> CountingBackend:
+    """Instantiate a registered backend for a dataset."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown counting backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls(dataset, **kwargs)

@@ -1,0 +1,122 @@
+"""The counting-backend protocol.
+
+Every miner in this package reduces to one operation: given an itemset (or
+an arbitrary boolean row mask), produce the per-group covered counts — the
+contingency row of Eq. 1.  A :class:`CountingBackend` encapsulates *how*
+that row is computed, so the search layers (`core.search`, `core.sdad`,
+`parallel.scheduler`) stay agnostic of the representation:
+
+* :class:`~repro.counting.mask.MaskBackend` — boolean masks over numpy
+  columns, the historical reference path;
+* :class:`~repro.counting.bitmap.BitmapBackend` — packed bit-vectors with
+  per-group popcounts (SciCSM-style, related work [29]) and an LRU cache
+  of categorical-context coverage vectors.
+
+Backends also self-instrument: every counting call and every context-cache
+hit/miss is tallied and published into :class:`~repro.core.instrumentation.
+MiningStats` so the ablation benches can attribute wall-clock wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.instrumentation import MiningStats
+    from ..core.items import Itemset
+    from ..dataset.table import Dataset
+
+__all__ = ["BackendCounters", "CountingBackend", "CountingBackendBase"]
+
+
+@dataclass(frozen=True)
+class BackendCounters:
+    """Snapshot of a backend's instrumentation counters.
+
+    Snapshots support subtraction so a caller can attribute counts to one
+    slice of work (the parallel workers bracket each task this way).
+    """
+
+    count_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __sub__(self, other: "BackendCounters") -> "BackendCounters":
+        return BackendCounters(
+            count_calls=self.count_calls - other.count_calls,
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses,
+        )
+
+    def __add__(self, other: "BackendCounters") -> "BackendCounters":
+        return BackendCounters(
+            count_calls=self.count_calls + other.count_calls,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+        )
+
+
+@runtime_checkable
+class CountingBackend(Protocol):
+    """What the search layers require of a support-counting strategy."""
+
+    name: str
+    dataset: "Dataset"
+
+    def group_counts(self, itemset: "Itemset") -> np.ndarray:
+        """Per-group covered counts of an itemset (Eq. 1 numerators)."""
+        ...
+
+    def cover(self, itemset: "Itemset") -> np.ndarray:
+        """Boolean coverage mask of an itemset over the dataset rows."""
+        ...
+
+    def mask_group_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Per-group counts inside an arbitrary boolean row mask."""
+        ...
+
+    def counters(self) -> BackendCounters:
+        """Current instrumentation snapshot."""
+        ...
+
+    def publish(self, stats: "MiningStats") -> None:
+        """Fold counters accumulated since the last publish into stats."""
+        ...
+
+
+class CountingBackendBase:
+    """Counter plumbing shared by the concrete backends."""
+
+    name: str = "abstract"
+
+    def __init__(self, dataset: "Dataset") -> None:
+        self.dataset = dataset
+        self.count_calls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._published = BackendCounters()
+
+    def counters(self) -> BackendCounters:
+        return BackendCounters(
+            count_calls=self.count_calls,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
+
+    def publish(self, stats: "MiningStats") -> None:
+        """Fold the delta since the previous publish into ``stats``.
+
+        Delta semantics let a long-lived backend (e.g. the worker-global
+        one in the parallel scheduler) publish into a fresh stats object
+        per task without double counting.
+        """
+        current = self.counters()
+        delta = current - self._published
+        self._published = current
+        stats.counting_backend = self.name
+        stats.count_calls += delta.count_calls
+        stats.cache_hits += delta.cache_hits
+        stats.cache_misses += delta.cache_misses

@@ -1,0 +1,143 @@
+"""Packed-bitmap counting backend (SciCSM-style hot path).
+
+Counting strategy:
+
+* every ``(attribute, value)`` pair of the categorical attributes gets a
+  packed bit-vector (built once, via :class:`~repro.dataset.bitmap.
+  BitmapIndex`);
+* a purely categorical itemset's coverage is the AND of its item vectors,
+  and its contingency row is one AND + popcount per group — ``|groups| + 1``
+  vectorised word operations over ``n_rows / 8`` bytes instead of
+  ``|items| + 1`` boolean passes over full-width columns;
+* the coverage vectors of categorical *contexts* are LRU-memoized, so a
+  context counted at search level ``n`` makes each of its level ``n + 1``
+  extensions a single AND away — the level-wise candidate generation of
+  the search (and the SDAD-CS context enumeration) hits this cache almost
+  every time;
+* itemsets containing numeric items fall back to a hybrid: the categorical
+  prefix comes from the (cached) bitmap, numeric intervals are applied as
+  boolean masks, and the final count packs the mask and popcounts it
+  against the per-group bit-vectors — still several times cheaper than
+  ``bincount`` over int64 group codes.
+
+All counts are exact popcounts, so results are byte-identical to
+:class:`~repro.counting.mask.MaskBackend` (asserted by the parity tests in
+``tests/test_counting.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.items import CategoricalItem, Itemset
+from ..dataset.bitmap import BitmapIndex, popcount_rows
+from ..dataset.table import DatasetError
+from .base import CountingBackendBase
+
+__all__ = ["BitmapBackend"]
+
+#: default number of context coverage vectors kept in the LRU cache; at
+#: ``n_rows / 8`` bytes per entry this stays a few dozen MB even for
+#: million-row datasets.
+DEFAULT_CACHE_SIZE = 8192
+
+
+class BitmapBackend(CountingBackendBase):
+    """Count supports with packed bit-vectors and per-group popcounts."""
+
+    name = "bitmap"
+
+    def __init__(self, dataset, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        super().__init__(dataset)
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.cache_size = cache_size
+        self._index = BitmapIndex(dataset, dataset.schema.categorical_names)
+        # (n_groups, n_words) stack: one fused ufunc call counts all groups
+        self._group_stack = np.stack(self._index.group_bitmaps)
+        self._cache: "OrderedDict[Itemset, np.ndarray]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Packed coverage of categorical itemsets (the cached hot path)
+    # ------------------------------------------------------------------
+
+    def _bits(self, itemset: Itemset) -> np.ndarray:
+        """Packed coverage of a purely categorical itemset.
+
+        Single items read straight from the index (the index *is* their
+        cache); longer contexts recurse on the canonical prefix so a
+        level-``n`` vector is reused by every level-``n+1`` extension.
+        """
+        items = itemset.items
+        if not items:
+            return self._index.full_bits
+        if len(items) == 1:
+            return self._index.item_bitmap(items[0])
+        cached = self._cache.get(itemset)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(itemset)
+            return cached
+        self.cache_misses += 1
+        prefix = Itemset(items[:-1])
+        bits = self._bits(prefix) & self._index.item_bitmap(items[-1])
+        self._cache[itemset] = bits
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return bits
+
+    def _split(
+        self, itemset: Itemset
+    ) -> tuple[Itemset, tuple]:
+        """Partition an itemset into (categorical part, other items)."""
+        cat = [i for i in itemset if isinstance(i, CategoricalItem)]
+        rest = tuple(i for i in itemset if not isinstance(i, CategoricalItem))
+        if len(cat) == len(itemset.items):
+            return itemset, rest
+        return Itemset(cat), rest
+
+    def _counts_of_bits(self, bits: np.ndarray) -> np.ndarray:
+        return popcount_rows(self._group_stack & bits)
+
+    # ------------------------------------------------------------------
+    # CountingBackend interface
+    # ------------------------------------------------------------------
+
+    def cover(self, itemset: Itemset) -> np.ndarray:
+        categorical, rest = self._split(itemset)
+        bits = self._bits(categorical)
+        mask = np.unpackbits(bits, count=self.dataset.n_rows).view(np.bool_)
+        for item in rest:
+            mask = mask & item.cover(self.dataset)
+        return mask
+
+    def group_counts(self, itemset: Itemset) -> np.ndarray:
+        self.count_calls += 1
+        categorical, rest = self._split(itemset)
+        if not rest:
+            return self._counts_of_bits(self._bits(categorical))
+        return self._count_mask(self.cover(itemset))
+
+    def _count_mask(self, mask: np.ndarray) -> np.ndarray:
+        return self._counts_of_bits(np.packbits(mask))
+
+    def mask_group_counts(self, mask: np.ndarray) -> np.ndarray:
+        self.count_calls += 1
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self.dataset.n_rows,):
+            raise DatasetError("mask must be a boolean array over rows")
+        return self._count_mask(mask)
+
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Introspection for tests and benches."""
+        return {
+            "entries": len(self._cache),
+            "capacity": self.cache_size,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "index_bytes": self._index.memory_bytes(),
+        }

@@ -1,0 +1,38 @@
+"""Boolean-mask counting backend (the historical reference path).
+
+This extracts exactly the counting logic the search layers used inline
+before backends existed: itemset coverage is the AND of per-item boolean
+masks over the raw columns, and per-group counting is a ``bincount`` of the
+group codes inside the mask.  It is the byte-identical baseline every other
+backend must match.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .base import CountingBackendBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.items import Itemset
+
+__all__ = ["MaskBackend"]
+
+
+class MaskBackend(CountingBackendBase):
+    """Count supports with fresh boolean masks per itemset."""
+
+    name = "mask"
+
+    def cover(self, itemset: "Itemset") -> np.ndarray:
+        return itemset.cover(self.dataset)
+
+    def group_counts(self, itemset: "Itemset") -> np.ndarray:
+        self.count_calls += 1
+        return self.dataset.group_counts(itemset.cover(self.dataset))
+
+    def mask_group_counts(self, mask: np.ndarray) -> np.ndarray:
+        self.count_calls += 1
+        return self.dataset.group_counts(mask)

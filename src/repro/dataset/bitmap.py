@@ -21,7 +21,31 @@ import numpy as np
 from ..core.items import CategoricalItem, Itemset
 from .table import Dataset
 
-__all__ = ["BitmapIndex"]
+__all__ = ["BitmapIndex", "popcount"]
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount(bits: np.ndarray) -> int:
+        """Number of set bits in a packed ``uint8`` vector."""
+        return int(np.bitwise_count(bits).sum())
+
+    def popcount_rows(bits: np.ndarray) -> np.ndarray:
+        """Per-row popcounts of a 2-d packed array (one row per group)."""
+        return np.bitwise_count(bits).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT_TABLE = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def popcount(bits: np.ndarray) -> int:
+        """Number of set bits in a packed ``uint8`` vector."""
+        return int(_POPCOUNT_TABLE[bits].sum(dtype=np.int64))
+
+    def popcount_rows(bits: np.ndarray) -> np.ndarray:
+        """Per-row popcounts of a 2-d packed array (one row per group)."""
+        return _POPCOUNT_TABLE[bits].sum(axis=1, dtype=np.int64)
 
 
 class BitmapIndex:
@@ -65,6 +89,16 @@ class BitmapIndex:
 
     # ------------------------------------------------------------------
 
+    @property
+    def full_bits(self) -> np.ndarray:
+        """Packed all-ones vector (coverage of the empty itemset)."""
+        return self._full
+
+    @property
+    def group_bitmaps(self) -> tuple[np.ndarray, ...]:
+        """One packed membership vector per group, in group order."""
+        return tuple(self._group_bitmaps)
+
     def item_bitmap(self, item: CategoricalItem) -> np.ndarray:
         """The packed coverage bits of one item."""
         try:
@@ -88,7 +122,7 @@ class BitmapIndex:
     @staticmethod
     def popcount(bits: np.ndarray) -> int:
         """Number of set bits in a packed vector."""
-        return int(np.unpackbits(bits).sum())
+        return popcount(bits)
 
     def count(self, itemset: Itemset) -> int:
         """Total rows covered by an itemset."""

@@ -1,5 +1,24 @@
-"""Level-parallel mining on a process pool (Section 6 scaling strategy)."""
+"""Level-parallel mining on a process pool (Section 6 scaling strategy).
 
-from .scheduler import ParallelMiningResult, mine_level_tasks, mine_parallel
+The supported entry point is :meth:`repro.ContrastSetMiner.mine` with
+``n_jobs > 1``; :func:`mine_parallel` and ``ParallelMiningResult`` are
+deprecated shims kept for one release.
+"""
 
-__all__ = ["ParallelMiningResult", "mine_level_tasks", "mine_parallel"]
+from .scheduler import mine_level_tasks, mine_parallel, parallel_search
+
+__all__ = [
+    "ParallelMiningResult",
+    "mine_level_tasks",
+    "mine_parallel",
+    "parallel_search",
+]
+
+
+def __getattr__(name: str):
+    if name == "ParallelMiningResult":
+        # scheduler.__getattr__ emits the DeprecationWarning
+        from . import scheduler
+
+        return scheduler.ParallelMiningResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

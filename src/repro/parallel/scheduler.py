@@ -13,38 +13,53 @@ machine — the paper's cluster stands in for our process pool (DESIGN.md
 substitution #4).  Some pruning is lost across subtrees within a level
 (the paper notes the same), so the parallel run can evaluate slightly more
 partitions than the serial one while producing the same contrasts.
+
+The public entry point is :meth:`repro.ContrastSetMiner.mine` with
+``n_jobs > 1``; :func:`mine_parallel` remains as a deprecated shim.
+Workers count supports through the configured
+:mod:`counting backend <repro.counting>` — each worker builds its backend
+once in the pool initializer, so the bitmap backend's packed index and
+context cache persist across the tasks a worker processes.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core import measures
 from ..core.config import MinerConfig
-from ..core.contrast import ContrastPattern
+from ..core.contrast import ContrastPattern, evaluate_itemset
 from ..core.instrumentation import MiningStats, Stopwatch
 from ..core.items import CategoricalItem, Itemset
-from ..core.pruning import is_pure_space
+from ..core.pruning import (
+    expected_count_prunes,
+    is_pure_space,
+    minimum_deviation_prunes,
+)
 from ..core.sdad import sdad_cs
 from ..core.topk import TopKList
+from ..counting import CountingBackend, make_backend
 from ..dataset.table import Dataset
 
-__all__ = ["ParallelMiningResult", "mine_parallel", "mine_level_tasks"]
+__all__ = ["mine_parallel", "mine_level_tasks", "parallel_search"]
 
-# Worker-global dataset: sent once per worker via the initializer instead
-# of pickling the dataset into every task.
+# Worker-global state: sent once per worker via the initializer instead of
+# pickling the dataset (and rebuilding the counting backend) in every task.
 _WORKER_DATASET: Dataset | None = None
 _WORKER_CONFIG: MinerConfig | None = None
+_WORKER_BACKEND: CountingBackend | None = None
 
 
 def _init_worker(dataset: Dataset, config: MinerConfig) -> None:
-    global _WORKER_DATASET, _WORKER_CONFIG
+    global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_BACKEND
     _WORKER_DATASET = dataset
     _WORKER_CONFIG = config
+    _WORKER_BACKEND = make_backend(config.counting_backend, dataset)
 
 
 @dataclass
@@ -64,15 +79,19 @@ class _TaskOutcome:
     pure_itemsets: list[Itemset] = field(default_factory=list)
     viable_contexts: list[Itemset] = field(default_factory=list)
     partitions_evaluated: int = 0
+    count_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def _run_task(task: _LevelTask) -> _TaskOutcome:
     """Worker body: mine one attribute combination."""
     dataset, config = _WORKER_DATASET, _WORKER_CONFIG
-    assert dataset is not None and config is not None
+    backend = _WORKER_BACKEND
+    assert dataset is not None and config is not None and backend is not None
     outcome = _TaskOutcome()
     stats = MiningStats()
-    measure = measures.get(config.interest_measure)
+    before = backend.counters()
 
     if task.continuous:
         for context in task.contexts:
@@ -85,18 +104,13 @@ def _run_task(task: _LevelTask) -> _TaskOutcome:
                 stats=stats,
                 known_pure=task.known_pure,
                 base_level=len(context),
+                backend=backend,
             )
             outcome.patterns.extend(result.patterns)
             outcome.pure_itemsets.extend(result.pure_itemsets)
     else:
         # categorical-only combination: evaluate value extensions of the
         # viable contexts over the final attribute
-        from ..core.contrast import evaluate_itemset
-        from ..core.pruning import (
-            expected_count_prunes,
-            minimum_deviation_prunes,
-        )
-
         level = len(task.categorical)
         alpha = config.alpha / (2**level)
         last = task.categorical[-1]
@@ -105,7 +119,9 @@ def _run_task(task: _LevelTask) -> _TaskOutcome:
             for value in attr.categories:
                 itemset = context.with_item(CategoricalItem(last, value))
                 stats.partitions_evaluated += 1
-                pattern = evaluate_itemset(itemset, dataset, level)
+                pattern = evaluate_itemset(
+                    itemset, dataset, level, backend=backend
+                )
                 if minimum_deviation_prunes(
                     pattern.counts, pattern.group_sizes, config.delta
                 ):
@@ -122,17 +138,13 @@ def _run_task(task: _LevelTask) -> _TaskOutcome:
                     if is_pure_space(pattern.counts):
                         outcome.pure_itemsets.append(itemset)
     outcome.partitions_evaluated = stats.partitions_evaluated
+    # Workers are long-lived, so ship only the counters accrued by THIS
+    # task; the driver folds the deltas into the run's MiningStats.
+    delta = backend.counters() - before
+    outcome.count_calls = delta.count_calls
+    outcome.cache_hits = delta.cache_hits
+    outcome.cache_misses = delta.cache_misses
     return outcome
-
-
-@dataclass
-class ParallelMiningResult:
-    patterns: list[ContrastPattern]
-    stats: MiningStats
-    n_workers: int
-
-    def top(self, n: int | None = None) -> list[ContrastPattern]:
-        return self.patterns if n is None else self.patterns[:n]
 
 
 def mine_level_tasks(
@@ -141,9 +153,16 @@ def mine_level_tasks(
     viable_by_prefix: dict[tuple[str, ...], list[Itemset]],
     min_interest: float,
     known_pure: Sequence[Itemset],
+    attributes: Sequence[str] | None = None,
 ) -> list[_LevelTask]:
-    """Build the independent tasks for one level of the search tree."""
-    names = dataset.schema.names
+    """Build the independent tasks for one level of the search tree.
+
+    ``attributes`` optionally restricts the searched attributes (defaults
+    to the full schema), mirroring the serial engine.
+    """
+    names = (
+        tuple(attributes) if attributes is not None else dataset.schema.names
+    )
     tasks: list[_LevelTask] = []
     for combo in itertools.combinations(names, level):
         categorical = tuple(
@@ -189,26 +208,38 @@ def mine_level_tasks(
     return tasks
 
 
-def mine_parallel(
+def parallel_search(
     dataset: Dataset,
     config: MinerConfig | None = None,
+    attributes: Sequence[str] | None = None,
     n_workers: int | None = None,
-) -> ParallelMiningResult:
-    """Mine contrast patterns level-parallel across a process pool.
+) -> tuple[TopKList, MiningStats, int]:
+    """Level-parallel search over a process pool.
 
     Within a level every attribute-combination task runs independently;
     between levels the shared top-k threshold, the viable categorical
     itemsets, and the pure-itemset list are refreshed from the gathered
     results — the scheme the paper sketches for cluster execution.
+
+    Returns the top-k list, the accumulated stats (including the counting
+    backend's counters), and the worker count actually used.  Callers
+    normally reach this through ``ContrastSetMiner.mine(..., n_jobs=N)``.
     """
     config = config or MinerConfig()
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
+    if attributes is not None:
+        for name in attributes:
+            dataset.attribute(name)  # validate
     stats = MiningStats()
+    stats.counting_backend = config.counting_backend
     topk = TopKList(config.k, config.delta)
     measure = measures.get(config.interest_measure)
     viable_by_prefix: dict[tuple[str, ...], list[Itemset]] = {}
     known_pure: list[Itemset] = []
-    max_depth = min(config.max_tree_depth, len(dataset.schema))
+    n_attributes = (
+        len(attributes) if attributes is not None else len(dataset.schema)
+    )
+    max_depth = min(config.max_tree_depth, n_attributes)
 
     with Stopwatch(stats):
         with ProcessPoolExecutor(
@@ -223,6 +254,7 @@ def mine_parallel(
                     viable_by_prefix,
                     topk.threshold,
                     known_pure,
+                    attributes=attributes,
                 )
                 if not tasks:
                     break
@@ -234,6 +266,9 @@ def mine_parallel(
                     stats.partitions_evaluated += (
                         outcome.partitions_evaluated
                     )
+                    stats.count_calls += outcome.count_calls
+                    stats.cache_hits += outcome.cache_hits
+                    stats.cache_misses += outcome.cache_misses
                     for pattern in outcome.patterns:
                         topk.add(pattern, measure(pattern))
                     known_pure.extend(outcome.pure_itemsets)
@@ -242,4 +277,40 @@ def mine_parallel(
                             task.categorical, []
                         ).extend(outcome.viable_contexts)
                 viable_by_prefix.update(next_viable)
-    return ParallelMiningResult(topk.patterns(), stats, n_workers)
+    return topk, stats, n_workers
+
+
+def mine_parallel(
+    dataset: Dataset,
+    config: MinerConfig | None = None,
+    n_workers: int | None = None,
+):
+    """Deprecated: use ``ContrastSetMiner(config).mine(dataset, n_jobs=N)``.
+
+    Kept for one release as a thin shim over the unified entry point; it
+    returns the same :class:`repro.core.miner.MiningResult` the miner does.
+    """
+    warnings.warn(
+        "mine_parallel is deprecated; use "
+        "ContrastSetMiner(config).mine(dataset, n_jobs=n_workers) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..core.miner import ContrastSetMiner
+
+    n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
+    return ContrastSetMiner(config).mine(dataset, n_jobs=n_workers)
+
+
+def __getattr__(name: str):
+    if name == "ParallelMiningResult":
+        warnings.warn(
+            "ParallelMiningResult is deprecated; parallel runs now return "
+            "repro.core.miner.MiningResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..core.miner import MiningResult
+
+        return MiningResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,12 +1,14 @@
-"""Tests for the level-parallel mining scheduler."""
+"""Tests for the level-parallel mining scheduler and the unified API."""
+
+import warnings
 
 import numpy as np
 import pytest
 
-from repro import ContrastSetMiner, MinerConfig
+from repro import ContrastSetMiner, MinerConfig, MiningResult, MiningSummary
 from repro.core.items import Itemset
 from repro.dataset.manufacturing import scaling_dataset
-from repro.parallel import mine_level_tasks, mine_parallel
+from repro.parallel import mine_level_tasks, parallel_search
 
 
 @pytest.fixture(scope="module")
@@ -14,11 +16,13 @@ def small_trace():
     return scaling_dataset(1200, n_features=10, seed=3)
 
 
-class TestMineParallel:
+class TestUnifiedMine:
+    """``ContrastSetMiner.mine(..., n_jobs=N)`` is the one entry point."""
+
     def test_matches_serial_results(self, small_trace):
         config = MinerConfig(k=20, max_tree_depth=2)
         serial = ContrastSetMiner(config).mine(small_trace)
-        parallel = mine_parallel(small_trace, config, n_workers=2)
+        parallel = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
         serial_sets = {p.itemset for p in serial.patterns}
         parallel_sets = {p.itemset for p in parallel.patterns}
         # the parallel run loses some cross-subtree pruning, so it may
@@ -28,22 +32,89 @@ class TestMineParallel:
         assert len(overlap) >= 0.8 * len(serial_sets)
         assert serial.patterns[0].itemset == parallel.patterns[0].itemset
 
-    def test_single_worker(self, small_trace):
+    def test_parallel_returns_mining_result(self, small_trace):
         config = MinerConfig(k=10, max_tree_depth=1)
-        result = mine_parallel(small_trace, config, n_workers=1)
-        assert result.patterns
+        result = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
+        assert isinstance(result, MiningResult)
+        assert result.n_workers == 2
+        assert result.interests  # itemset -> interest mapping survives
+
+    def test_serial_n_workers_is_one(self, small_trace):
+        config = MinerConfig(k=10, max_tree_depth=1)
+        result = ContrastSetMiner(config).mine(small_trace)
         assert result.n_workers == 1
+
+    def test_invalid_n_jobs_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ContrastSetMiner().mine(small_trace, n_jobs=0)
 
     def test_stats_recorded(self, small_trace):
         config = MinerConfig(k=10, max_tree_depth=1)
-        result = mine_parallel(small_trace, config, n_workers=2)
+        result = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
         assert result.stats.partitions_evaluated > 0
         assert result.stats.elapsed_seconds > 0
+        assert result.stats.count_calls > 0
 
-    def test_top_helper(self, small_trace):
+    def test_bitmap_backend_through_workers(self, small_trace):
+        config = MinerConfig(
+            k=10, max_tree_depth=2, counting_backend="bitmap"
+        )
+        mask = ContrastSetMiner(
+            config.with_(counting_backend="mask")
+        ).mine(small_trace, n_jobs=2)
+        bitmap = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
+        assert [(p.itemset, p.counts) for p in mask.patterns] == [
+            (p.itemset, p.counts) for p in bitmap.patterns
+        ]
+        assert bitmap.stats.counting_backend == "bitmap"
+
+    def test_attribute_restriction(self, small_trace):
+        names = small_trace.schema.names[:4]
+        config = MinerConfig(k=10, max_tree_depth=2)
+        result = ContrastSetMiner(config).mine(
+            small_trace, attributes=names, n_jobs=2
+        )
+        for pattern in result.patterns:
+            assert set(pattern.itemset.attributes) <= set(names)
+
+    def test_summary(self, small_trace):
         config = MinerConfig(k=10, max_tree_depth=1)
-        result = mine_parallel(small_trace, config, n_workers=2)
+        result = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
+        summary = result.summary()
+        assert isinstance(summary, MiningSummary)
+        assert summary.n_patterns == len(result)
+        assert summary.n_rows == small_trace.n_rows
+        assert summary.n_workers == 2
+        assert summary.counting_backend == "mask"
+
+
+class TestDeprecatedShims:
+    def test_mine_parallel_warns_and_delegates(self, small_trace):
+        from repro.parallel import mine_parallel
+
+        config = MinerConfig(k=10, max_tree_depth=1)
+        with pytest.warns(DeprecationWarning, match="mine_parallel"):
+            result = mine_parallel(small_trace, config, n_workers=2)
+        assert isinstance(result, MiningResult)
+        assert result.patterns
+        assert result.n_workers == 2
         assert len(result.top(3)) <= 3
+
+    def test_parallel_mining_result_alias(self):
+        with pytest.warns(DeprecationWarning, match="ParallelMiningResult"):
+            from repro.parallel import ParallelMiningResult
+        assert ParallelMiningResult is MiningResult
+
+
+class TestParallelSearch:
+    def test_returns_topk_stats_workers(self, small_trace):
+        config = MinerConfig(k=10, max_tree_depth=1)
+        topk, stats, n_workers = parallel_search(
+            small_trace, config, n_workers=2
+        )
+        assert topk.patterns()
+        assert stats.partitions_evaluated > 0
+        assert n_workers == 2
 
 
 class TestLevelTasks:
@@ -54,6 +125,17 @@ class TestLevelTasks:
             covered.update(task.categorical)
             covered.update(task.continuous)
         assert covered == set(small_trace.schema.names)
+
+    def test_attributes_restrict_tasks(self, small_trace):
+        names = small_trace.schema.names[:3]
+        tasks = mine_level_tasks(
+            small_trace, 1, {}, 0.1, [], attributes=names
+        )
+        covered = set()
+        for task in tasks:
+            covered.update(task.categorical)
+            covered.update(task.continuous)
+        assert covered == set(names)
 
     def test_level2_requires_viable_prefixes(self, small_trace):
         # no viable level-1 categorical itemsets -> categorical pairs and
