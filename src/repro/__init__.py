@@ -19,6 +19,7 @@ from .core.config import MinerConfig
 from .core.contrast import ContrastPattern
 from .core.items import CategoricalItem, Interval, Itemset, NumericItem
 from .core.miner import ContrastSetMiner, MiningResult, MiningSummary
+from .core.pipeline import EvaluationContext, PruneRule, PruningPipeline
 from .core.sdad import sdad_cs
 from .dataset.schema import Attribute, AttributeKind, Schema
 from .dataset.table import Dataset
@@ -35,6 +36,9 @@ __all__ = [
     "ContrastSetMiner",
     "MiningResult",
     "MiningSummary",
+    "EvaluationContext",
+    "PruneRule",
+    "PruningPipeline",
     "sdad_cs",
     "Attribute",
     "AttributeKind",

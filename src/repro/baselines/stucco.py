@@ -21,20 +21,24 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from scipy import stats as _scipy_stats
-
+from ..core.config import MinerConfig
 from ..core.contrast import ContrastPattern, evaluate_itemset
 from ..core.instrumentation import MiningStats, Stopwatch
 from ..core.items import CategoricalItem, Itemset
-from ..core.optimistic import chi_square_estimate
-from ..core.pruning import (
-    expected_count_prunes,
-    minimum_deviation_prunes,
+from ..core.pipeline import (
+    EvaluationContext,
+    OptimisticChiSquareRule,
+    PruningPipeline,
 )
 from ..core.stats import AlphaLadder
 from ..dataset.table import Dataset
 
 __all__ = ["StuccoConfig", "StuccoResult", "stucco"]
+
+# STUCCO uses the chi-square upper bound as an *expansion gate*, not a
+# prune: a failing node is still reported if it is itself a contrast,
+# only its specialisations are cut.
+_EXPANSION_GATE = OptimisticChiSquareRule()
 
 
 @dataclass(frozen=True)
@@ -84,6 +88,24 @@ def stucco(
     stats = MiningStats()
     ladder = AlphaLadder(config.alpha)
     found: list[ContrastPattern] = []
+    # STUCCO runs the shared pipeline restricted to its two prune rules
+    # (minimum deviation + expected count); the chi-square bound acts as
+    # an expansion gate below, and the redundancy/pure-space rules are
+    # SDAD-CS additions STUCCO predates.
+    pipeline = PruningPipeline(
+        MinerConfig(
+            delta=config.delta,
+            alpha=config.alpha,
+            k=config.k if config.k is not None else 100,
+            max_tree_depth=config.max_depth,
+            min_expected_count=config.min_expected_count,
+            use_bonferroni=config.use_bonferroni,
+            prune_optimistic=False,
+            prune_redundant=False,
+            prune_pure_space=False,
+        ),
+        stats=stats,
+    )
 
     with Stopwatch(stats):
         # level 1 candidates: every attribute value
@@ -103,33 +125,27 @@ def stucco(
             for itemset in frontier:
                 stats.partitions_evaluated += 1
                 pattern = evaluate_itemset(itemset, dataset, level)
-                if minimum_deviation_prunes(
-                    pattern.counts, pattern.group_sizes, config.delta
-                ):
-                    stats.spaces_pruned += 1
-                    continue
-                if expected_count_prunes(
-                    pattern.counts,
-                    pattern.group_sizes,
-                    config.min_expected_count,
-                ):
-                    stats.spaces_pruned += 1
+                ctx = EvaluationContext(
+                    key=itemset,
+                    config=pipeline.config,
+                    alpha=alpha,
+                    level=level,
+                    itemset=itemset,
+                    pattern=pattern,
+                )
+                if pipeline.evaluate(ctx).pruned:
                     continue
                 if pattern.is_contrast(config.delta, alpha):
                     found.append(pattern)
                 # expand only if some specialisation could be significant
-                bound = chi_square_estimate(
-                    pattern.counts, pattern.group_sizes
-                )
-                dof = max(1, len(pattern.counts) - 1)
-                critical = float(_scipy_stats.chi2.isf(alpha, dof))
-                if bound >= critical:
-                    survivors.append(itemset)
-                else:
+                if pipeline.check_gate(_EXPANSION_GATE, ctx):
                     stats.spaces_pruned += 1
+                else:
+                    survivors.append(itemset)
             frontier = _next_level(survivors, dataset, names)
             stats.candidates_generated += len(frontier)
             level += 1
+        pipeline.publish()
 
     found.sort(key=lambda p: -p.support_difference)
     if config.k is not None:

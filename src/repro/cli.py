@@ -138,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit the patterns as JSON (for pipelines/dashboards)",
     )
+    mine.add_argument(
+        "--explain-prunes",
+        action="store_true",
+        dest="explain_prunes",
+        help=(
+            "print the per-rule pruning report (checks, hits, wall time "
+            "per pipeline rule)"
+        ),
+    )
 
     compare = sub.add_parser(
         "compare", help="compare algorithms (Table 4 protocol)"
@@ -268,6 +277,9 @@ def _cmd_mine(args) -> int:
     if result.n_workers > 1:
         line += f" ({result.n_workers} workers)"
     print(line)
+    if args.explain_prunes:
+        print()
+        print(result.explain_prunes())
     return 0
 
 

@@ -3,6 +3,13 @@
 from .config import MinerConfig
 from .contrast import ContrastPattern, evaluate_itemset
 from .items import CategoricalItem, Interval, Item, Itemset, NumericItem
+from .pipeline import (
+    EvaluationContext,
+    PruneRule,
+    PruningPipeline,
+    default_rules,
+    format_prune_report,
+)
 from .sdad import SDADResult, sdad_cs
 from .topk import TopKList
 
@@ -15,6 +22,11 @@ __all__ = [
     "Item",
     "Itemset",
     "NumericItem",
+    "EvaluationContext",
+    "PruneRule",
+    "PruningPipeline",
+    "default_rules",
+    "format_prune_report",
     "SDADResult",
     "sdad_cs",
     "TopKList",

@@ -32,6 +32,19 @@ class MiningStats:
     """Context-coverage cache hits (bitmap backend; 0 for mask)."""
     cache_misses: int = 0
     """Context-coverage cache misses (bitmap backend; 0 for mask)."""
+    prune_rule_checks: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: candidates the rule examined."""
+    prune_rule_hits: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: candidates the rule pruned."""
+    prune_rule_seconds: dict[str, float] = field(default_factory=dict)
+    """Per pipeline rule: wall time spent inside the rule's check."""
+    prune_reasons: dict[str, int] = field(default_factory=dict)
+    """Unique pruned keys per :class:`PruneReason` name (the Table-4-style
+    ablation view; sourced from the prune lookup table)."""
+    prune_table_checks: int = 0
+    """Prune lookup-table probes (Algorithm 1 lines 7-9)."""
+    prune_table_hits: int = 0
+    """Probes that found the key already pruned (skipped re-evaluation)."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -50,6 +63,24 @@ class MiningStats:
         self.count_calls += other.count_calls
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        for name, value in other.prune_rule_checks.items():
+            self.prune_rule_checks[name] = (
+                self.prune_rule_checks.get(name, 0) + value
+            )
+        for name, value in other.prune_rule_hits.items():
+            self.prune_rule_hits[name] = (
+                self.prune_rule_hits.get(name, 0) + value
+            )
+        for name, seconds in other.prune_rule_seconds.items():
+            self.prune_rule_seconds[name] = (
+                self.prune_rule_seconds.get(name, 0.0) + seconds
+            )
+        for name, value in other.prune_reasons.items():
+            self.prune_reasons[name] = (
+                self.prune_reasons.get(name, 0) + value
+            )
+        self.prune_table_checks += other.prune_table_checks
+        self.prune_table_hits += other.prune_table_hits
 
 
 class Stopwatch:

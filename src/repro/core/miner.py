@@ -16,7 +16,7 @@ same either way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..dataset.table import Dataset
@@ -46,6 +46,13 @@ class MiningSummary:
     cache_hits: int
     cache_misses: int
     n_workers: int
+    prune_rule_checks: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: candidates examined (serial and parallel runs
+    report identical values for the same dataset and config)."""
+    prune_rule_hits: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: candidates pruned."""
+    prune_reasons: dict[str, int] = field(default_factory=dict)
+    """Unique pruned keys per :class:`PruneReason` name."""
 
 
 @dataclass
@@ -81,7 +88,16 @@ class MiningResult:
             cache_hits=self.stats.cache_hits,
             cache_misses=self.stats.cache_misses,
             n_workers=self.n_workers,
+            prune_rule_checks=dict(self.stats.prune_rule_checks),
+            prune_rule_hits=dict(self.stats.prune_rule_hits),
+            prune_reasons=dict(self.stats.prune_reasons),
         )
+
+    def explain_prunes(self) -> str:
+        """Per-rule pruning report (the CLI's ``--explain-prunes``)."""
+        from .pipeline import format_prune_report
+
+        return format_prune_report(self.stats)
 
     def meaningfulness(
         self, alpha: float | None = None

@@ -1,0 +1,676 @@
+"""The shared candidate lifecycle: one pruning pipeline for every miner.
+
+Historically each consumer of the paper's pruning strategies (the
+level-wise :class:`~repro.core.search.SearchEngine`, the SDAD-CS
+recursion, the parallel worker loop, and the STUCCO baseline) hand-copied
+the same ordered rule sequence with its own ``PruneTable`` and
+``MiningStats`` wiring.  That duplication made per-rule effectiveness
+unmeasurable (the paper's Table 4-style ablation) and let the serial and
+parallel paths drift apart — the parallel categorical branch was missing
+the optimistic and redundancy rules entirely and used a looser alpha.
+
+This module makes candidate evaluation first-class:
+
+* :class:`EvaluationContext` — everything a rule may need to judge one
+  candidate: the itemset (or a lazy factory for it), the counted
+  per-group supports, the evaluated :class:`ContrastPattern` (lazy), the
+  alpha-ladder level, the live top-k threshold, subset patterns for the
+  redundancy test, and the pure-region registry.
+* :class:`PruneRule` — one pruning strategy as an object: a stable name,
+  the :class:`PruneReason` it records, an enablement predicate over
+  :class:`MinerConfig` (which is how the SDAD-CS NP ablation flags keep
+  working), and the check itself.
+* :class:`PruningPipeline` — the ordered, config-driven chain.  It owns
+  the prune lookup table and the run's :class:`MiningStats`, counts
+  per-rule checks/hits/wall-time, and records every decision, so serial,
+  parallel, and backend-swapped runs produce identical prune accounting.
+
+The canonical rule order is the one the paper's cost argument implies:
+cheap anti-monotone rules (empty, pure-space, minimum deviation,
+expected count) run before the chi-square optimistic gate and the CLT
+redundancy test, which both cost a statistics evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Hashable, Mapping, Sequence
+
+from scipy import stats as _scipy_stats
+
+from .config import MinerConfig
+from .contrast import ContrastPattern, evaluate_itemset
+from .instrumentation import MiningStats
+from .items import Itemset
+from .optimistic import chi_square_estimate
+from .pruning import (
+    PruneDecision,
+    PruneReason,
+    PruneTable,
+    expected_count_prunes,
+    is_pure_space,
+    minimum_deviation_prunes,
+    redundant_against_subset,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "PruneRule",
+    "EmptyRule",
+    "PureSpaceRule",
+    "MinimumDeviationRule",
+    "ExpectedCountRule",
+    "OptimisticChiSquareRule",
+    "RedundancyRule",
+    "PruningPipeline",
+    "RuleStats",
+    "CandidateOutcome",
+    "default_rules",
+    "process_categorical_candidate",
+    "format_prune_report",
+]
+
+#: Candidate phases.  ``itemset`` candidates are categorical itemsets from
+#: the level-wise search (and STUCCO); ``space`` candidates are the numeric
+#: boxes of the SDAD-CS recursion.  Some rules only apply to one phase —
+#: the chi-square optimistic gate, for instance, bounds categorical
+#: specialisations, while SDAD-CS recursion is gated by the Eq. 6-11
+#: support-difference estimate instead.
+PHASE_ITEMSET = "itemset"
+PHASE_SPACE = "space"
+
+
+@lru_cache(maxsize=4096)
+def chi2_critical(alpha: float, dof: int) -> float:
+    """Memoized chi-square critical value.
+
+    The optimistic-estimate gate needs the same (alpha, dof) quantile for
+    every candidate at a level; caching keeps the scipy call off the hot
+    path without changing any result.
+    """
+    return float(_scipy_stats.chi2.isf(alpha, dof))
+
+
+class EvaluationContext:
+    """Everything a prune rule may need to judge one candidate.
+
+    The expensive members are lazy: ``itemset`` and ``pattern`` can be
+    given as factories that run only when a rule actually needs them
+    (SDAD-CS spaces, for instance, only materialise a pattern when the
+    redundancy rule fires), and ``subset_patterns`` can be a factory that
+    resolves the sub-itemset lookups on demand.
+    """
+
+    __slots__ = (
+        "key",
+        "phase",
+        "alpha",
+        "level",
+        "threshold",
+        "config",
+        "known_pure",
+        "counts",
+        "group_sizes",
+        "total_count",
+        "_itemset",
+        "_itemset_factory",
+        "_pattern",
+        "_pattern_factory",
+        "_subsets",
+        "_subsets_factory",
+    )
+
+    def __init__(
+        self,
+        *,
+        key: Hashable,
+        config: MinerConfig,
+        alpha: float,
+        level: int = 1,
+        phase: str = PHASE_ITEMSET,
+        threshold: float = 0.0,
+        known_pure: Sequence[Itemset] = (),
+        counts=None,
+        group_sizes=None,
+        total_count: int | None = None,
+        itemset: Itemset | None = None,
+        itemset_factory: Callable[[], Itemset] | None = None,
+        pattern: ContrastPattern | None = None,
+        pattern_factory: Callable[[], ContrastPattern] | None = None,
+        subset_patterns: Sequence[ContrastPattern] | None = None,
+        subsets_factory: Callable[[], Sequence[ContrastPattern]] | None = None,
+    ) -> None:
+        self.key = key
+        self.config = config
+        self.alpha = alpha
+        self.level = level
+        self.phase = phase
+        self.threshold = threshold
+        self.known_pure = known_pure
+        self.counts = counts
+        self.group_sizes = group_sizes
+        self.total_count = total_count
+        self._itemset = itemset
+        self._itemset_factory = itemset_factory
+        self._pattern = None
+        self._pattern_factory = pattern_factory
+        self._subsets = subset_patterns
+        self._subsets_factory = subsets_factory
+        if pattern is not None:
+            self.attach_pattern(pattern)
+
+    @property
+    def itemset(self) -> Itemset:
+        if self._itemset is None:
+            self._itemset = self._itemset_factory()
+        return self._itemset
+
+    @property
+    def pattern(self) -> ContrastPattern:
+        if self._pattern is None:
+            self._pattern = self._pattern_factory()
+        return self._pattern
+
+    @property
+    def subset_patterns(self) -> Sequence[ContrastPattern]:
+        if self._subsets is None:
+            self._subsets = (
+                tuple(self._subsets_factory())
+                if self._subsets_factory is not None
+                else ()
+            )
+        return self._subsets
+
+    def attach_pattern(self, pattern: ContrastPattern) -> None:
+        """Bind the evaluated pattern (and its counts) to the context."""
+        self._pattern = pattern
+        self.counts = pattern.counts
+        self.group_sizes = pattern.group_sizes
+        self.total_count = pattern.total_count
+
+    def _counts_total(self) -> int:
+        if self.total_count is None:
+            self.total_count = int(sum(self.counts))
+        return self.total_count
+
+
+class PruneRule:
+    """One pruning strategy of Sections 3/4.3 as a pipeline stage.
+
+    Subclasses define the stable ``name`` (the per-rule stats key), the
+    :class:`PruneReason` recorded in the lookup table, whether the rule
+    needs the candidate's evaluated pattern/counts (``needs_pattern`` —
+    pattern-free rules can run in the pre-counting ``precheck`` phase),
+    and optionally the candidate phases it applies to.
+    """
+
+    name: str = "abstract"
+    reason: PruneReason = PruneReason.EMPTY
+    needs_pattern: bool = True
+    phases: tuple[str, ...] | None = None  # None = every phase
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return True
+
+    def applies(self, ctx: EvaluationContext) -> bool:
+        return self.phases is None or ctx.phase in self.phases
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        """True when the candidate should be pruned."""
+        raise NotImplementedError
+
+
+class EmptyRule(PruneRule):
+    """No covered rows at all — nothing to test (always enabled)."""
+
+    name = "empty"
+    reason = PruneReason.EMPTY
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        return ctx._counts_total() == 0
+
+
+class PureSpaceRule(PruneRule):
+    """Candidate lies strictly inside a known PR = 1 region (rule 5).
+
+    Extending a pure contrast can only restate it with extra, redundant
+    items (the height/toddler example of Section 4.3), so any candidate
+    whose region a shorter pure itemset subsumes is cut.  Needs only the
+    itemset, so the search runs it before paying for support counting.
+    """
+
+    name = "pure_space"
+    reason = PruneReason.PURE_SPACE
+    needs_pattern = False
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return config.prune_pure_space
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        known = ctx.known_pure
+        if not known:
+            return False
+        candidate = ctx.itemset
+        n = len(candidate)
+        return any(
+            n > len(pure) and pure.region_subsumes(candidate)
+            for pure in known
+        )
+
+
+class MinimumDeviationRule(PruneRule):
+    """No group's support exceeds delta (rule 1, anti-monotone)."""
+
+    name = "min_deviation"
+    reason = PruneReason.MIN_DEVIATION
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return config.prune_min_deviation
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        return minimum_deviation_prunes(
+            ctx.counts, ctx.group_sizes, ctx.config.delta
+        )
+
+
+class ExpectedCountRule(PruneRule):
+    """Some expected contingency cell is below the floor (rule 2)."""
+
+    name = "expected_count"
+    reason = PruneReason.EXPECTED_COUNT
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return config.prune_expected_count
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        return expected_count_prunes(
+            ctx.counts, ctx.group_sizes, ctx.config.min_expected_count
+        )
+
+
+class OptimisticChiSquareRule(PruneRule):
+    """No specialisation can reach chi-square significance (rule 3).
+
+    Applies to categorical itemset candidates only: the SDAD-CS recursion
+    over numeric spaces is gated by the Eq. 6-11 support-difference
+    estimate instead (see ``_SDADRun._optimistic_allows``).
+    """
+
+    name = "optimistic"
+    reason = PruneReason.OPTIMISTIC_ESTIMATE
+    phases = (PHASE_ITEMSET,)
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return config.prune_optimistic
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        bound = chi_square_estimate(ctx.counts, ctx.group_sizes)
+        dof = max(1, len(ctx.counts) - 1)
+        return bound < chi2_critical(ctx.alpha, dof)
+
+
+class RedundancyRule(PruneRule):
+    """Support difference within the CLT band of a subset (Eq. 14-16)."""
+
+    name = "redundant"
+    reason = PruneReason.REDUNDANT
+
+    def enabled(self, config: MinerConfig) -> bool:
+        return config.prune_redundant
+
+    def check(self, ctx: EvaluationContext) -> bool:
+        subsets = ctx.subset_patterns
+        if not subsets:
+            return False
+        pattern = ctx.pattern
+        return any(
+            redundant_against_subset(pattern, subset, ctx.alpha)
+            for subset in subsets
+        )
+
+
+def default_rules() -> tuple[PruneRule, ...]:
+    """The canonical rule chain, cheapest first.
+
+    Empty and pure-space are O(1)-ish; minimum deviation and expected
+    count are one pass over the group counts; the chi-square optimistic
+    gate and the CLT redundancy test each evaluate a statistic, so they
+    run last.  The order determines which *reason* a doubly-doomed
+    candidate records, never whether it survives.
+    """
+    return (
+        EmptyRule(),
+        PureSpaceRule(),
+        MinimumDeviationRule(),
+        ExpectedCountRule(),
+        OptimisticChiSquareRule(),
+        RedundancyRule(),
+    )
+
+
+@dataclass
+class RuleStats:
+    """Per-rule effectiveness counters (checks, hits, wall time)."""
+
+    checks: int = 0
+    hits: int = 0
+    seconds: float = 0.0
+
+    def snapshot(self) -> "RuleStats":
+        return RuleStats(self.checks, self.hits, self.seconds)
+
+
+class PruningPipeline:
+    """Ordered, config-driven chain of prune rules with full accounting.
+
+    One pipeline is built per mining run (or per parallel worker task)
+    from :class:`MinerConfig`; it owns the :class:`PruneTable` and writes
+    into the run's :class:`MiningStats`.  Every consumer — the level-wise
+    search, SDAD-CS, the parallel workers, STUCCO — routes candidates
+    through :meth:`seen` / :meth:`precheck` / :meth:`evaluate`, which is
+    what guarantees serial, parallel, and backend-swapped runs agree on
+    both patterns and prune accounting.
+    """
+
+    def __init__(
+        self,
+        config: MinerConfig | None = None,
+        *,
+        rules: Sequence[PruneRule] | None = None,
+        prune_table: PruneTable | None = None,
+        stats: MiningStats | None = None,
+        time_rules: bool = True,
+    ) -> None:
+        self.config = config or MinerConfig()
+        self.all_rules = tuple(rules) if rules is not None else default_rules()
+        self.rules = tuple(
+            rule for rule in self.all_rules if rule.enabled(self.config)
+        )
+        self.prune_table = prune_table if prune_table is not None else PruneTable()
+        self.stats = stats if stats is not None else MiningStats()
+        self.time_rules = time_rules
+        self.rule_stats: dict[str, RuleStats] = {
+            rule.name: RuleStats() for rule in self.rules
+        }
+        # Hot-path plans: (pattern_free_only, skip_pattern_free, phase) ->
+        # tuple of (check, record, reason) with the per-candidate rule
+        # filtering and stats-dict lookups resolved once.
+        self._plans: dict[tuple[bool, bool, str], tuple] = {}
+        self._keep = PruneDecision.keep()
+        self._drops = {
+            rule.reason: PruneDecision.drop(rule.reason)
+            for rule in self.all_rules
+        }
+        self._published_rules: dict[str, RuleStats] = {}
+        self._published_reasons: dict[PruneReason, int] = {}
+        self._published_table_checks = 0
+        self._published_table_hits = 0
+
+    # ------------------------------------------------------------------
+    # The candidate lifecycle
+    # ------------------------------------------------------------------
+
+    def seen(self, key: Hashable) -> bool:
+        """Probe the prune lookup table (Algorithm 1 lines 7-9)."""
+        if self.prune_table.contains(key):
+            self.stats.spaces_pruned += 1
+            return True
+        return False
+
+    def precheck(self, ctx: EvaluationContext) -> PruneDecision:
+        """Run the pattern-free rules (before paying for counting)."""
+        return self._run(ctx, pattern_free_only=True)
+
+    def evaluate(
+        self, ctx: EvaluationContext, *, skip_pattern_free: bool = False
+    ) -> PruneDecision:
+        """Run the rule chain on an evaluated candidate.
+
+        Pass ``skip_pattern_free=True`` when :meth:`precheck` already ran
+        for this candidate, so pattern-free rules are not re-checked.
+        """
+        return self._run(ctx, skip_pattern_free=skip_pattern_free)
+
+    def _plan(
+        self,
+        pattern_free_only: bool,
+        skip_pattern_free: bool,
+        phase: str,
+    ) -> tuple:
+        key = (pattern_free_only, skip_pattern_free, phase)
+        plan = self._plans.get(key)
+        if plan is None:
+            selected = []
+            for rule in self.rules:
+                if pattern_free_only and rule.needs_pattern:
+                    continue
+                if skip_pattern_free and not rule.needs_pattern:
+                    continue
+                if rule.phases is not None and phase not in rule.phases:
+                    continue
+                selected.append(
+                    (rule.check, self.rule_stats[rule.name], rule.reason)
+                )
+            plan = self._plans[key] = tuple(selected)
+        return plan
+
+    def _run(
+        self,
+        ctx: EvaluationContext,
+        *,
+        pattern_free_only: bool = False,
+        skip_pattern_free: bool = False,
+    ) -> PruneDecision:
+        plan = self._plan(pattern_free_only, skip_pattern_free, ctx.phase)
+        clock = time.perf_counter if self.time_rules else None
+        for check, record, reason in plan:
+            record.checks += 1
+            if clock is not None:
+                start = clock()
+                hit = check(ctx)
+                record.seconds += clock() - start
+            else:
+                hit = check(ctx)
+            if hit:
+                record.hits += 1
+                self.prune_table.add(ctx.key, reason)
+                self.stats.spaces_pruned += 1
+                return self._drops[reason]
+        return self._keep
+
+    def check_gate(self, rule: PruneRule, ctx: EvaluationContext) -> bool:
+        """Run one rule as a *gate* (counted, but nothing recorded).
+
+        STUCCO uses the optimistic chi-square rule this way: a failing
+        node is still reported if it is itself a contrast, only its
+        expansion is cut.  The check lands in the per-rule stats under
+        ``<name>(gate)`` so gate effectiveness is observable too.
+        """
+        name = f"{rule.name}(gate)"
+        record = self.rule_stats.setdefault(name, RuleStats())
+        record.checks += 1
+        if self.time_rules:
+            start = time.perf_counter()
+            hit = rule.check(ctx)
+            record.seconds += time.perf_counter() - start
+        else:
+            hit = rule.check(ctx)
+        if hit:
+            record.hits += 1
+        return hit
+
+    # ------------------------------------------------------------------
+    # Publishing into MiningStats
+    # ------------------------------------------------------------------
+
+    def publish(self, stats: MiningStats | None = None) -> None:
+        """Fold per-rule counters and table reasons into ``stats``.
+
+        Delta semantics (like the counting backends): only what accrued
+        since the previous publish is added, so a long-lived pipeline can
+        publish into a fresh stats object per slice of work without
+        double counting.
+        """
+        stats = self.stats if stats is None else stats
+        for name, record in self.rule_stats.items():
+            previous = self._published_rules.get(name)
+            d_checks = record.checks - (previous.checks if previous else 0)
+            d_hits = record.hits - (previous.hits if previous else 0)
+            d_seconds = record.seconds - (
+                previous.seconds if previous else 0.0
+            )
+            stats.prune_rule_checks[name] = (
+                stats.prune_rule_checks.get(name, 0) + d_checks
+            )
+            stats.prune_rule_hits[name] = (
+                stats.prune_rule_hits.get(name, 0) + d_hits
+            )
+            stats.prune_rule_seconds[name] = (
+                stats.prune_rule_seconds.get(name, 0.0) + d_seconds
+            )
+            self._published_rules[name] = record.snapshot()
+        reasons = self.prune_table.reason_counts()
+        for reason, count in reasons.items():
+            delta = count - self._published_reasons.get(reason, 0)
+            if delta:
+                stats.prune_reasons[reason.name] = (
+                    stats.prune_reasons.get(reason.name, 0) + delta
+                )
+        self._published_reasons = dict(reasons)
+        stats.prune_table_checks += (
+            self.prune_table.checks - self._published_table_checks
+        )
+        stats.prune_table_hits += (
+            self.prune_table.hits - self._published_table_hits
+        )
+        self._published_table_checks = self.prune_table.checks
+        self._published_table_hits = self.prune_table.hits
+
+
+# ----------------------------------------------------------------------
+# The shared categorical candidate lifecycle
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """A categorical candidate that survived the pipeline."""
+
+    itemset: Itemset
+    pattern: ContrastPattern
+    is_contrast: bool
+    is_pure: bool
+    """True when the candidate is a pure (PR = 1) contrast that must be
+    registered in the pure-region registry (pure-space pruning)."""
+
+
+def process_categorical_candidate(
+    itemset: Itemset,
+    dataset,
+    pipeline: PruningPipeline,
+    *,
+    alpha: float,
+    level: int,
+    subset_patterns: Mapping[Itemset, ContrastPattern],
+    known_pure: Sequence[Itemset],
+    backend=None,
+    threshold: float = 0.0,
+) -> CandidateOutcome | None:
+    """One categorical candidate through the full lifecycle.
+
+    Lookup-table probe, pure-space precheck, support counting, then the
+    evaluated rule chain.  Returns ``None`` when the candidate was pruned
+    (the pipeline has already recorded why); otherwise the evaluated
+    pattern plus its contrast/purity verdicts, which the caller folds
+    into its own viable/top-k/pure bookkeeping.  Both the serial
+    :class:`~repro.core.search.SearchEngine` and the parallel worker loop
+    call this, which is what keeps them byte-identical.
+    """
+    config = pipeline.config
+    if pipeline.seen(itemset):
+        return None
+    ctx = EvaluationContext(
+        key=itemset,
+        config=config,
+        alpha=alpha,
+        level=level,
+        itemset=itemset,
+        known_pure=known_pure,
+        threshold=threshold,
+    )
+    if pipeline.precheck(ctx).pruned:
+        return None
+    pipeline.stats.partitions_evaluated += 1
+    pattern = evaluate_itemset(itemset, dataset, level, backend=backend)
+    ctx.attach_pattern(pattern)
+
+    def subsets() -> list[ContrastPattern]:
+        found = []
+        for attribute in itemset.attributes:
+            subset = subset_patterns.get(itemset.without_attribute(attribute))
+            if subset is not None:
+                found.append(subset)
+        return found
+
+    ctx._subsets_factory = subsets
+    if pipeline.evaluate(ctx, skip_pattern_free=True).pruned:
+        return None
+    is_contrast = pattern.is_contrast(config.delta, alpha)
+    is_pure = bool(
+        config.prune_pure_space
+        and is_contrast
+        and is_pure_space(pattern.counts)
+    )
+    return CandidateOutcome(itemset, pattern, is_contrast, is_pure)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+_RULE_REASONS = {rule.name: rule.reason.name for rule in default_rules()}
+
+
+def format_prune_report(stats: MiningStats) -> str:
+    """Human-readable per-rule effectiveness report (``--explain-prunes``).
+
+    One row per pipeline rule: how many candidates it saw, how many it
+    cut, the wall time it cost, and the matching lookup-table reason
+    count (unique pruned keys).  The lookup table's own probe/hit tally
+    follows — table hits are candidates skipped without any rule running.
+    """
+    names = list(stats.prune_rule_checks)
+    lines = ["Pruning pipeline (rule order = evaluation order):"]
+    header = (
+        f"  {'rule':<20} {'checks':>9} {'hits':>9} {'hit%':>7} "
+        f"{'time(s)':>9} {'table':>7}"
+    )
+    lines.append(header)
+    for name in names:
+        checks = stats.prune_rule_checks.get(name, 0)
+        hits = stats.prune_rule_hits.get(name, 0)
+        seconds = stats.prune_rule_seconds.get(name, 0.0)
+        rate = f"{100.0 * hits / checks:.1f}" if checks else "-"
+        reason = _RULE_REASONS.get(name)
+        table = (
+            str(stats.prune_reasons.get(reason, 0))
+            if reason is not None
+            else "-"
+        )
+        lines.append(
+            f"  {name:<20} {checks:>9} {hits:>9} {rate:>7} "
+            f"{seconds:>9.3f} {table:>7}"
+        )
+    lines.append(
+        f"  lookup table: {stats.prune_table_checks} probes, "
+        f"{stats.prune_table_hits} hits "
+        f"(candidates skipped without re-evaluation)"
+    )
+    total = sum(stats.prune_rule_hits.values())
+    lines.append(
+        f"  total pruned: {stats.spaces_pruned} "
+        f"({total} by rules, {stats.prune_table_hits} by table)"
+    )
+    return "\n".join(lines)

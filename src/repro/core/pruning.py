@@ -109,6 +109,17 @@ class PruneTable:
             out[reason] = out.get(reason, 0) + 1
         return out
 
+    def merge_from(self, other: "PruneTable") -> None:
+        """Fold another table in (parallel driver merging worker tables).
+
+        Worker tasks operate on disjoint candidate keys (one attribute
+        combination per task), so the union is collision-free; probe
+        counters are summed.
+        """
+        self._table.update(other._table)
+        self.checks += other.checks
+        self.hits += other.hits
+
 
 def minimum_deviation_prunes(
     counts: Sequence[int] | np.ndarray,

@@ -40,14 +40,12 @@ from .partition import (
     merged_space,
     partition_median,
 )
-from .pruning import (
-    PruneReason,
-    PruneTable,
-    expected_count_prunes,
-    is_pure_space,
-    minimum_deviation_prunes,
-    redundant_against_subset,
+from .pipeline import (
+    PHASE_SPACE,
+    EvaluationContext,
+    PruningPipeline,
 )
+from .pruning import PruneTable, is_pure_space
 from .stats import AlphaLadder, chi_square_independence
 
 __all__ = ["SDADResult", "sdad_cs"]
@@ -74,8 +72,7 @@ class _SDADRun:
         config: MinerConfig,
         min_interest: float,
         alpha_ladder: AlphaLadder,
-        stats: MiningStats,
-        prune_table: PruneTable,
+        pipeline: PruningPipeline,
         base_level: int = 0,
         known_pure: Sequence[Itemset] = (),
         backend=None,
@@ -86,8 +83,9 @@ class _SDADRun:
         self.config = config
         self.min_interest = min_interest
         self.ladder = alpha_ladder
-        self.stats = stats
-        self.prune_table = prune_table
+        self.pipeline = pipeline
+        self.stats = pipeline.stats
+        self.prune_table = pipeline.prune_table
         self.base_level = base_level
         self.known_pure = tuple(known_pure)
         if backend is None:
@@ -286,47 +284,32 @@ class _SDADRun:
     def _can_prune(
         self, space: Space, parent: ContrastPattern, alpha: float
     ) -> bool:
-        """Algorithm 1 line 7: lookup table + cheap rules."""
+        """Algorithm 1 line 7: lookup table + the shared rule pipeline.
+
+        The context's itemset and pattern are lazy: the pure-space rule
+        only materialises the itemset when pure regions are known, and the
+        redundancy rule only builds the pattern when the parent carries a
+        usable direction — matching what the hand-inlined sequence paid.
+        """
         key = (self.categorical, space.key())
-        if self.prune_table.contains(key):
-            self.stats.spaces_pruned += 1
+        if self.pipeline.seen(key):
             return True
-
-        reason: PruneReason | None = None
-        if space.total_count == 0:
-            reason = PruneReason.EMPTY
-        elif self.config.prune_pure_space and self._inside_pure_region(space):
-            reason = PruneReason.PURE_SPACE
-        elif self.config.prune_min_deviation and minimum_deviation_prunes(
-            space.counts, self.dataset.group_sizes, self.config.delta
-        ):
-            reason = PruneReason.MIN_DEVIATION
-        elif self.config.prune_expected_count and expected_count_prunes(
-            space.counts,
-            self.dataset.group_sizes,
-            self.config.min_expected_count,
-        ):
-            reason = PruneReason.EXPECTED_COUNT
-        elif self.config.prune_redundant and parent.total_count > 0:
-            pattern = self._pattern_of(space)
-            if redundant_against_subset(pattern, parent, alpha):
-                reason = PruneReason.REDUNDANT
-
-        if reason is not None:
-            self.prune_table.add(key, reason)
-            self.stats.spaces_pruned += 1
-            return True
-        return False
-
-    def _inside_pure_region(self, space: Space) -> bool:
-        """Pure-space pruning across combinations (Section 4.3): a box
-        lying inside an already-known PR = 1 region can only restate that
-        pure contrast with extra, redundant items."""
-        candidate = space.itemset_with(self.categorical)
-        for pure in self.known_pure:
-            if len(candidate) > len(pure) and pure.region_subsumes(candidate):
-                return True
-        return False
+        ctx = EvaluationContext(
+            key=key,
+            config=self.config,
+            alpha=alpha,
+            level=self.pattern_level,
+            phase=PHASE_SPACE,
+            threshold=self.min_interest,
+            known_pure=self.known_pure,
+            counts=space.counts,
+            group_sizes=self.dataset.group_sizes,
+            total_count=space.total_count,
+            itemset_factory=lambda: space.itemset_with(self.categorical),
+            pattern_factory=lambda: self._pattern_of(space),
+            subset_patterns=(parent,) if parent.total_count > 0 else (),
+        )
+        return self.pipeline.evaluate(ctx).pruned
 
     # -- bottom-up merge ---------------------------------------------------
 
@@ -385,6 +368,7 @@ def sdad_cs(
     base_level: int = 0,
     known_pure: Sequence[Itemset] = (),
     backend=None,
+    pipeline: PruningPipeline | None = None,
 ) -> SDADResult:
     """Run SDAD-CS for one attribute combination.
 
@@ -401,9 +385,12 @@ def sdad_cs(
     min_interest:
         Live top-k threshold (``min support`` in Algorithm 1); defaults to
         ``config.delta``.
-    alpha_ladder / stats / prune_table:
-        Shared state when called from the outer search; fresh instances are
-        created for standalone use.
+    alpha_ladder / stats / prune_table / pipeline:
+        Shared state when called from the outer search.  The search passes
+        its :class:`PruningPipeline` (which owns stats and prune table);
+        standalone callers may pass ``stats``/``prune_table`` and a fresh
+        pipeline is built around them, publishing per-rule accounting into
+        ``stats`` before returning.
     base_level:
         Search-tree level of the categorical context (for the Bonferroni
         ladder).
@@ -427,6 +414,15 @@ def sdad_cs(
         if not dataset.attribute(name).is_continuous:
             raise ValueError(f"attribute {name!r} is not continuous")
     config = config or MinerConfig()
+    own_pipeline = pipeline is None
+    if pipeline is None:
+        pipeline = PruningPipeline(
+            config,
+            stats=stats if stats is not None else MiningStats(),
+            prune_table=(
+                prune_table if prune_table is not None else PruneTable()
+            ),
+        )
     run = _SDADRun(
         dataset,
         categorical,
@@ -434,10 +430,12 @@ def sdad_cs(
         config,
         config.delta if min_interest is None else min_interest,
         alpha_ladder or AlphaLadder(config.alpha),
-        stats or MiningStats(),
-        prune_table or PruneTable(),
+        pipeline,
         base_level=base_level,
         known_pure=known_pure,
         backend=backend,
     )
-    return run.run()
+    result = run.run()
+    if own_pipeline:
+        pipeline.publish()
+    return result

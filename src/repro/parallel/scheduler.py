@@ -3,45 +3,58 @@
 The paper's strategy for data that exceeds one machine: *"find contrast
 patterns at each level of the tree in parallel and then use those results
 to prune the next level of the tree"*.  Each attribute combination at a
-level is an independent task (SDAD-CS calls share nothing but the live
-top-k threshold), so a level is a simple parallel map; between levels the
-workers' results are folded into the shared top-k list and pure-itemset
-set, restoring most of the cross-subtree pruning.
+level is an independent task, so a level is a simple parallel map; between
+levels the workers' results are folded into the shared top-k list, the
+viable-itemset index, and the pure-itemset set, restoring the cross-subtree
+pruning for the next level.
 
-This module implements that strategy with ``multiprocessing`` on one
+Workers run the exact same candidate lifecycle as the serial engine — the
+shared :class:`~repro.core.pipeline.PruningPipeline` — with the level's
+Bonferroni alpha and a snapshot of the driver's :class:`AlphaLadder`
+shipped in each task (ladder registration is value-deterministic given the
+driver's prior levels, so worker-local copies reproduce the serial alphas
+exactly).  Each worker task returns its own :class:`MiningStats` and
+:class:`PruneTable`; the driver merges them, so a parallel run reports the
+same per-rule prune accounting as the serial run, not just the same
+patterns.
+
+Two per-level snapshots are intentionally frozen for the duration of a
+level (the paper notes the same trade-off): the live top-k threshold and
+the pure-itemset registry, which the serial engine updates mid-level.
+Cross-task effects within one level are not replayed, so a run whose top-k
+list saturates mid-level can evaluate slightly more partitions than the
+serial one.
+
+This module implements the strategy with ``multiprocessing`` on one
 machine — the paper's cluster stands in for our process pool (DESIGN.md
-substitution #4).  Some pruning is lost across subtrees within a level
-(the paper notes the same), so the parallel run can evaluate slightly more
-partitions than the serial one while producing the same contrasts.
-
-The public entry point is :meth:`repro.ContrastSetMiner.mine` with
-``n_jobs > 1``; :func:`mine_parallel` remains as a deprecated shim.
-Workers count supports through the configured
-:mod:`counting backend <repro.counting>` — each worker builds its backend
-once in the pool initializer, so the bitmap backend's packed index and
-context cache persist across the tasks a worker processes.
+substitution #4).  The public entry point is
+:meth:`repro.ContrastSetMiner.mine` with ``n_jobs > 1``;
+:func:`mine_parallel` remains as a deprecated shim.  Workers count
+supports through the configured :mod:`counting backend <repro.counting>` —
+each worker builds its backend once in the pool initializer, so the bitmap
+backend's packed index and context cache persist across the tasks a worker
+processes.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core import measures
 from ..core.config import MinerConfig
-from ..core.contrast import ContrastPattern, evaluate_itemset
+from ..core.contrast import ContrastPattern
 from ..core.instrumentation import MiningStats, Stopwatch
 from ..core.items import CategoricalItem, Itemset
-from ..core.pruning import (
-    expected_count_prunes,
-    is_pure_space,
-    minimum_deviation_prunes,
-)
+from ..core.pipeline import PruningPipeline, process_categorical_candidate
+from ..core.pruning import PruneTable
 from ..core.sdad import sdad_cs
+from ..core.stats import AlphaLadder
 from ..core.topk import TopKList
 from ..counting import CountingBackend, make_backend
 from ..dataset.table import Dataset
@@ -71,6 +84,18 @@ class _LevelTask:
     contexts: tuple[Itemset, ...]  # viable categorical contexts
     min_interest: float
     known_pure: tuple[Itemset, ...]
+    alpha: float = 0.05
+    """The level's Bonferroni-adjusted alpha (driver-computed, so every
+    task at a level tests at exactly the serial engine's alpha)."""
+    alpha_ladder: AlphaLadder | None = None
+    """Snapshot of the driver's ladder; SDAD-CS registers its deeper split
+    levels on the (pickled) copy, reproducing the serial values."""
+    subset_patterns: dict[Itemset, ContrastPattern] = field(
+        default_factory=dict
+    )
+    """Previous-level patterns for the immediate sub-itemsets of this
+    task's candidates (the redundancy rule's lookups, pre-filtered by the
+    driver so only the relevant slice is pickled)."""
 
 
 @dataclass
@@ -78,20 +103,27 @@ class _TaskOutcome:
     patterns: list[ContrastPattern] = field(default_factory=list)
     pure_itemsets: list[Itemset] = field(default_factory=list)
     viable_contexts: list[Itemset] = field(default_factory=list)
-    partitions_evaluated: int = 0
-    count_calls: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    viable_patterns: list[ContrastPattern] = field(default_factory=list)
+    """Patterns of the viable itemsets, in ``viable_contexts`` order; the
+    driver indexes them for the next level's redundancy lookups."""
+    stats: MiningStats = field(default_factory=MiningStats)
+    prune_table: PruneTable = field(default_factory=PruneTable)
 
 
 def _run_task(task: _LevelTask) -> _TaskOutcome:
-    """Worker body: mine one attribute combination."""
+    """Worker body: mine one attribute combination.
+
+    Candidates flow through the same :class:`PruningPipeline` lifecycle as
+    the serial engine; the pipeline's stats and prune table travel back in
+    the outcome for the driver to merge.
+    """
     dataset, config = _WORKER_DATASET, _WORKER_CONFIG
     backend = _WORKER_BACKEND
     assert dataset is not None and config is not None and backend is not None
     outcome = _TaskOutcome()
     stats = MiningStats()
-    before = backend.counters()
+    pipeline = PruningPipeline(config, stats=stats)
+    known_pure = list(task.known_pure)
 
     if task.continuous:
         for context in task.contexts:
@@ -101,50 +133,89 @@ def _run_task(task: _LevelTask) -> _TaskOutcome:
                 task.continuous,
                 config,
                 min_interest=task.min_interest,
-                stats=stats,
-                known_pure=task.known_pure,
+                alpha_ladder=task.alpha_ladder,
                 base_level=len(context),
+                known_pure=known_pure,
                 backend=backend,
+                pipeline=pipeline,
             )
             outcome.patterns.extend(result.patterns)
             outcome.pure_itemsets.extend(result.pure_itemsets)
+            # Later contexts of the same task see pures found by earlier
+            # ones, mirroring the serial engine's in-level accumulation.
+            known_pure.extend(result.pure_itemsets)
     else:
-        # categorical-only combination: evaluate value extensions of the
-        # viable contexts over the final attribute
+        # Categorical-only combination: evaluate value extensions of the
+        # viable contexts over the final attribute.
         level = len(task.categorical)
-        alpha = config.alpha / (2**level)
         last = task.categorical[-1]
         attr = dataset.attribute(last)
-        for context in task.contexts:
-            for value in attr.categories:
-                itemset = context.with_item(CategoricalItem(last, value))
-                stats.partitions_evaluated += 1
-                pattern = evaluate_itemset(
-                    itemset, dataset, level, backend=backend
-                )
-                if minimum_deviation_prunes(
-                    pattern.counts, pattern.group_sizes, config.delta
-                ):
-                    continue
-                if expected_count_prunes(
-                    pattern.counts,
-                    pattern.group_sizes,
-                    config.min_expected_count,
-                ):
-                    continue
-                outcome.viable_contexts.append(itemset)
-                if pattern.is_contrast(config.delta, alpha):
-                    outcome.patterns.append(pattern)
-                    if is_pure_space(pattern.counts):
-                        outcome.pure_itemsets.append(itemset)
-    outcome.partitions_evaluated = stats.partitions_evaluated
-    # Workers are long-lived, so ship only the counters accrued by THIS
-    # task; the driver folds the deltas into the run's MiningStats.
-    delta = backend.counters() - before
-    outcome.count_calls = delta.count_calls
-    outcome.cache_hits = delta.cache_hits
-    outcome.cache_misses = delta.cache_misses
+        candidates = [
+            context.with_item(CategoricalItem(last, value))
+            for context in task.contexts
+            for value in attr.categories
+        ]
+        stats.candidates_generated += len(candidates)
+        for itemset in candidates:
+            result = process_categorical_candidate(
+                itemset,
+                dataset,
+                pipeline,
+                alpha=task.alpha,
+                level=level,
+                subset_patterns=task.subset_patterns,
+                known_pure=known_pure,
+                backend=backend,
+                threshold=task.min_interest,
+            )
+            if result is None:
+                continue
+            outcome.viable_contexts.append(itemset)
+            outcome.viable_patterns.append(result.pattern)
+            if result.is_pure:
+                known_pure.append(itemset)
+                outcome.pure_itemsets.append(itemset)
+            if result.is_contrast:
+                outcome.patterns.append(result.pattern)
+
+    # Workers are long-lived; both publishes use delta semantics, so the
+    # outcome carries only the counters accrued by THIS task.
+    backend.publish(stats)
+    pipeline.publish(stats)
+    outcome.stats = stats
+    outcome.prune_table = pipeline.prune_table
     return outcome
+
+
+def _relevant_subsets(
+    contexts: Sequence[Itemset],
+    last: str,
+    categories: Sequence[str],
+    previous_patterns: Mapping[Itemset, ContrastPattern],
+) -> dict[Itemset, ContrastPattern]:
+    """The previous-level patterns a task's redundancy checks can reach.
+
+    A candidate ``context + {last=value}`` probes its immediate
+    sub-itemsets: the context itself, and (for each context attribute
+    ``a``) ``context - a + {last=value}``.  Shipping just this slice keeps
+    task pickles small while giving the worker the exact lookups the
+    serial engine performs.
+    """
+    if not previous_patterns:
+        return {}
+    relevant: dict[Itemset, ContrastPattern] = {}
+    for context in contexts:
+        pattern = previous_patterns.get(context)
+        if pattern is not None:
+            relevant[context] = pattern
+        for attribute in context.attributes:
+            base = context.without_attribute(attribute)
+            for value in categories:
+                key = base.with_item(CategoricalItem(last, value))
+                pattern = previous_patterns.get(key)
+                if pattern is not None:
+                    relevant[key] = pattern
+    return relevant
 
 
 def mine_level_tasks(
@@ -154,17 +225,41 @@ def mine_level_tasks(
     min_interest: float,
     known_pure: Sequence[Itemset],
     attributes: Sequence[str] | None = None,
+    *,
+    config: MinerConfig | None = None,
+    alpha: float | None = None,
+    alpha_ladder: AlphaLadder | None = None,
+    subset_patterns: Mapping[Itemset, ContrastPattern] | None = None,
 ) -> list[_LevelTask]:
     """Build the independent tasks for one level of the search tree.
 
     ``attributes`` optionally restricts the searched attributes (defaults
-    to the full schema), mirroring the serial engine.
+    to the full schema), mirroring the serial engine.  ``alpha`` is the
+    level's test threshold; when omitted it is derived from the ladder
+    exactly as the serial engine does (``alpha / 2^level`` split over the
+    level's combination count).  ``subset_patterns`` is the previous
+    level's itemset→pattern index for the redundancy rule.
     """
     names = (
         tuple(attributes) if attributes is not None else dataset.schema.names
     )
+    config = config or MinerConfig()
+    combos = list(itertools.combinations(names, level))
+    ladder = (
+        alpha_ladder
+        if alpha_ladder is not None
+        else AlphaLadder(config.alpha)
+    )
+    if alpha is None:
+        alpha = (
+            ladder.alpha_for_level(level, max(1, len(combos)))
+            if config.use_bonferroni
+            else config.alpha
+        )
+    previous_patterns = subset_patterns or {}
+    known_pure = tuple(known_pure)
     tasks: list[_LevelTask] = []
-    for combo in itertools.combinations(names, level):
+    for combo in combos:
         categorical = tuple(
             a for a in combo if dataset.attribute(a).is_categorical
         )
@@ -174,6 +269,17 @@ def mine_level_tasks(
         if continuous:
             if categorical:
                 contexts = tuple(viable_by_prefix.get(categorical, ()))
+                if config.prune_pure_space and known_pure:
+                    # A context inside a pure region cannot yield anything
+                    # but redundant specialisations (serial engine's
+                    # pure-context filter).
+                    contexts = tuple(
+                        c
+                        for c in contexts
+                        if not any(
+                            p.region_subsumes(c) for p in known_pure
+                        )
+                    )
                 if not contexts:
                     continue
             else:
@@ -184,7 +290,9 @@ def mine_level_tasks(
                     continuous,
                     contexts,
                     min_interest,
-                    tuple(known_pure),
+                    known_pure,
+                    alpha,
+                    ladder,
                 )
             )
         else:
@@ -196,13 +304,22 @@ def mine_level_tasks(
             )
             if not contexts:
                 continue
+            last = categorical[-1]
             tasks.append(
                 _LevelTask(
                     categorical,
                     (),
                     contexts,
                     min_interest,
-                    tuple(known_pure),
+                    known_pure,
+                    alpha,
+                    ladder,
+                    _relevant_subsets(
+                        contexts,
+                        last,
+                        dataset.attribute(last).categories,
+                        previous_patterns,
+                    ),
                 )
             )
     return tasks
@@ -216,14 +333,18 @@ def parallel_search(
 ) -> tuple[TopKList, MiningStats, int]:
     """Level-parallel search over a process pool.
 
-    Within a level every attribute-combination task runs independently;
-    between levels the shared top-k threshold, the viable categorical
-    itemsets, and the pure-itemset list are refreshed from the gathered
-    results — the scheme the paper sketches for cluster execution.
+    Within a level every attribute-combination task runs independently
+    through the shared pruning pipeline; between levels the shared top-k
+    threshold, the viable categorical itemsets (with their patterns, for
+    the redundancy rule), and the pure-itemset list are refreshed from the
+    gathered results — the scheme the paper sketches for cluster
+    execution.
 
-    Returns the top-k list, the accumulated stats (including the counting
-    backend's counters), and the worker count actually used.  Callers
-    normally reach this through ``ContrastSetMiner.mine(..., n_jobs=N)``.
+    Returns the top-k list, the accumulated stats (counting-backend
+    counters, per-rule prune checks/hits/times, and prune-table reason
+    counts merged from every worker), and the worker count actually used.
+    Callers normally reach this through
+    ``ContrastSetMiner.mine(..., n_jobs=N)``.
     """
     config = config or MinerConfig()
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
@@ -232,14 +353,17 @@ def parallel_search(
             dataset.attribute(name)  # validate
     stats = MiningStats()
     stats.counting_backend = config.counting_backend
+    prune_table = PruneTable()
+    ladder = AlphaLadder(config.alpha)
     topk = TopKList(config.k, config.delta)
     measure = measures.get(config.interest_measure)
     viable_by_prefix: dict[tuple[str, ...], list[Itemset]] = {}
+    previous_patterns: dict[Itemset, ContrastPattern] = {}
     known_pure: list[Itemset] = []
-    n_attributes = (
-        len(attributes) if attributes is not None else len(dataset.schema)
+    names = (
+        tuple(attributes) if attributes is not None else dataset.schema.names
     )
-    max_depth = min(config.max_tree_depth, n_attributes)
+    max_depth = min(config.max_tree_depth, len(names))
 
     with Stopwatch(stats):
         with ProcessPoolExecutor(
@@ -255,20 +379,20 @@ def parallel_search(
                     topk.threshold,
                     known_pure,
                     attributes=attributes,
+                    config=config,
+                    alpha_ladder=ladder,
+                    subset_patterns=previous_patterns,
                 )
                 if not tasks:
                     break
-                stats.candidates_generated += len(tasks)
+                stats.nodes_expanded += math.comb(len(names), level)
                 next_viable: dict[tuple[str, ...], list[Itemset]] = {}
+                next_patterns: dict[Itemset, ContrastPattern] = {}
                 for task, outcome in zip(
                     tasks, pool.map(_run_task, tasks, chunksize=1)
                 ):
-                    stats.partitions_evaluated += (
-                        outcome.partitions_evaluated
-                    )
-                    stats.count_calls += outcome.count_calls
-                    stats.cache_hits += outcome.cache_hits
-                    stats.cache_misses += outcome.cache_misses
+                    stats.merge_from(outcome.stats)
+                    prune_table.merge_from(outcome.prune_table)
                     for pattern in outcome.patterns:
                         topk.add(pattern, measure(pattern))
                     known_pure.extend(outcome.pure_itemsets)
@@ -276,7 +400,12 @@ def parallel_search(
                         next_viable.setdefault(
                             task.categorical, []
                         ).extend(outcome.viable_contexts)
+                        for pattern in outcome.viable_patterns:
+                            next_patterns[pattern.itemset] = pattern
                 viable_by_prefix.update(next_viable)
+                previous_patterns = next_patterns
+    stats.prune_table_checks = prune_table.checks
+    stats.prune_table_hits = prune_table.hits
     return topk, stats, n_workers
 
 
@@ -313,4 +442,5 @@ def __getattr__(name: str):
         from ..core.miner import MiningResult
 
         return MiningResult
+
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,6 +39,13 @@ class StreamUpdate:
     patterns: list[ContrastPattern] = field(default_factory=list)
     emerged: list[ContrastPattern] = field(default_factory=list)
     vanished: list[ContrastPattern] = field(default_factory=list)
+    prune_counts: dict[str, int] = field(default_factory=dict)
+    """Prune-reason counts from the refresh's mining run (empty when the
+    update did not refresh).  The refresh mines through the same
+    :class:`~repro.core.pipeline.PruningPipeline` as batch runs, so these
+    are directly comparable with ``MiningResult.summary().prune_reasons``
+    — a window whose pruning profile shifts (e.g. redundancy suddenly
+    dominating) is an early drift signal alongside emerged/vanished."""
 
     @property
     def drifted(self) -> bool:
@@ -185,9 +192,11 @@ class StreamingContrastMiner:
         snapshot = self.window.snapshot()
         mineable = all(size > 0 for size in snapshot.group_sizes)
         new_patterns: list[ContrastPattern] = []
+        prune_counts: dict[str, int] = {}
         if mineable:
             result = ContrastSetMiner(self.config).mine(snapshot)
             new_patterns = result.patterns
+            prune_counts = dict(result.stats.prune_reasons)
 
         alpha = self.config.alpha
         emerged = [
@@ -211,4 +220,5 @@ class StreamingContrastMiner:
             patterns=list(new_patterns),
             emerged=emerged if previous_existed else list(new_patterns),
             vanished=vanished if previous_existed else [],
+            prune_counts=prune_counts,
         )

@@ -35,6 +35,48 @@ class TestMiningStats:
         a.merge_from(MiningStats(elapsed_seconds=2.0))
         assert a.elapsed_seconds == 1.0
 
+    def test_merge_sums_per_rule_counters(self):
+        """Merging two workers' stats sums rule checks/hits/timings and
+        reason counts key-wise (keys present in either side survive)."""
+        a = MiningStats(
+            prune_rule_checks={"min_deviation": 10, "redundant": 4},
+            prune_rule_hits={"min_deviation": 3},
+            prune_rule_seconds={"min_deviation": 0.5},
+            prune_reasons={"MIN_DEVIATION": 3},
+            prune_table_checks=12,
+            prune_table_hits=2,
+        )
+        b = MiningStats(
+            prune_rule_checks={"min_deviation": 5, "expected_count": 7},
+            prune_rule_hits={"min_deviation": 2, "expected_count": 1},
+            prune_rule_seconds={"min_deviation": 0.25,
+                                "expected_count": 0.1},
+            prune_reasons={"MIN_DEVIATION": 2, "EXPECTED_COUNT": 1},
+            prune_table_checks=8,
+            prune_table_hits=1,
+        )
+        a.merge_from(b)
+        assert a.prune_rule_checks == {
+            "min_deviation": 15,
+            "redundant": 4,
+            "expected_count": 7,
+        }
+        assert a.prune_rule_hits == {
+            "min_deviation": 5,
+            "expected_count": 1,
+        }
+        assert a.prune_rule_seconds == pytest.approx(
+            {"min_deviation": 0.75, "expected_count": 0.1}
+        )
+        assert a.prune_reasons == {
+            "MIN_DEVIATION": 5,
+            "EXPECTED_COUNT": 1,
+        }
+        assert a.prune_table_checks == 20
+        assert a.prune_table_hits == 3
+        # the source stats are untouched
+        assert b.prune_rule_checks["min_deviation"] == 5
+
 
 class TestStopwatch:
     def test_accumulates_time(self):

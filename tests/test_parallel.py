@@ -20,17 +20,14 @@ class TestUnifiedMine:
     """``ContrastSetMiner.mine(..., n_jobs=N)`` is the one entry point."""
 
     def test_matches_serial_results(self, small_trace):
+        # Workers run the identical PruningPipeline lifecycle with the
+        # driver's per-level alpha, so the pattern lists match exactly.
         config = MinerConfig(k=20, max_tree_depth=2)
         serial = ContrastSetMiner(config).mine(small_trace)
         parallel = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
-        serial_sets = {p.itemset for p in serial.patterns}
-        parallel_sets = {p.itemset for p in parallel.patterns}
-        # the parallel run loses some cross-subtree pruning, so it may
-        # retain extra patterns, but everything serial found must be there
-        # and the top pattern must agree
-        overlap = serial_sets & parallel_sets
-        assert len(overlap) >= 0.8 * len(serial_sets)
-        assert serial.patterns[0].itemset == parallel.patterns[0].itemset
+        assert [(p.itemset, p.counts) for p in serial.patterns] == [
+            (p.itemset, p.counts) for p in parallel.patterns
+        ]
 
     def test_parallel_returns_mining_result(self, small_trace):
         config = MinerConfig(k=10, max_tree_depth=1)
@@ -88,6 +85,33 @@ class TestUnifiedMine:
         assert summary.counting_backend == "mask"
 
 
+class TestPruneParity:
+    """Serial and parallel runs agree on prune *accounting*, not just
+    patterns — the rule-ordering drift between the two paths is gone."""
+
+    @pytest.mark.parametrize("dataset_number", [1, 2, 3, 4])
+    def test_reason_counts_match_serial(self, dataset_number):
+        from repro.dataset import synthetic
+
+        dataset = getattr(
+            synthetic, f"simulated_dataset_{dataset_number}"
+        )()
+        config = MinerConfig(max_tree_depth=2)
+        serial = ContrastSetMiner(config).mine(dataset, n_jobs=1)
+        parallel = ContrastSetMiner(config).mine(dataset, n_jobs=2)
+        assert serial.stats.prune_reasons == parallel.stats.prune_reasons
+        assert (
+            serial.stats.prune_rule_hits == parallel.stats.prune_rule_hits
+        )
+        assert (
+            serial.stats.prune_rule_checks
+            == parallel.stats.prune_rule_checks
+        )
+        assert [p.itemset for p in serial.patterns] == [
+            p.itemset for p in parallel.patterns
+        ]
+
+
 class TestDeprecatedShims:
     def test_mine_parallel_warns_and_delegates(self, small_trace):
         from repro.parallel import mine_parallel
@@ -99,6 +123,22 @@ class TestDeprecatedShims:
         assert result.patterns
         assert result.n_workers == 2
         assert len(result.top(3)) <= 3
+
+    def test_mine_parallel_routes_through_pipeline(self, small_trace):
+        """The shim reaches the same pipeline-built engine: per-rule
+        pruning accounting is populated exactly as in a direct mine()."""
+        from repro.parallel import mine_parallel
+
+        config = MinerConfig(k=10, max_tree_depth=1)
+        with pytest.warns(DeprecationWarning, match="mine_parallel"):
+            shimmed = mine_parallel(small_trace, config, n_workers=2)
+        direct = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
+        assert shimmed.stats.prune_rule_checks  # pipeline ran
+        assert (
+            shimmed.stats.prune_rule_checks
+            == direct.stats.prune_rule_checks
+        )
+        assert shimmed.stats.prune_reasons == direct.stats.prune_reasons
 
     def test_parallel_mining_result_alias(self):
         with pytest.warns(DeprecationWarning, match="ParallelMiningResult"):
