@@ -23,6 +23,7 @@ from .core.pipeline import EvaluationContext, PruneRule, PruningPipeline
 from .core.sdad import sdad_cs
 from .dataset.schema import Attribute, AttributeKind, Schema
 from .dataset.table import Dataset
+from .resilience import CheckpointError, ResiliencePolicy
 
 __version__ = "1.0.0"
 
@@ -44,5 +45,7 @@ __all__ = [
     "AttributeKind",
     "Schema",
     "Dataset",
+    "CheckpointError",
+    "ResiliencePolicy",
     "__version__",
 ]

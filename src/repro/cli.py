@@ -90,6 +90,35 @@ def build_parser() -> argparse.ArgumentParser:
                 "categorical-heavy data)"
             ),
         )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            help=(
+                "parallel dispatches a failed task gets before the "
+                "serial fallback (default 2)"
+            ),
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help=(
+                "per-task wall-clock budget; a task running longer is "
+                "abandoned and retried (default: no timeout)"
+            ),
+        )
+        p.add_argument(
+            "--retry-backoff",
+            type=float,
+            default=0.1,
+            metavar="SECONDS",
+            help=(
+                "base of the exponential retry backoff "
+                "(attempt n waits backoff * 2^(n-1) s; default 0.1)"
+            ),
+        )
 
     info = sub.add_parser("info", help="describe a dataset")
     add_io(info)
@@ -147,6 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
             "per pipeline rule)"
         ),
     )
+    mine.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "persist the mining state here after every completed search "
+            "level, so an interrupted run can be continued with --resume"
+        ),
+    )
+    mine.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        help=(
+            "continue an interrupted run from a checkpoint file or "
+            "directory (deepest level wins); requires the same miner "
+            "flags the original run used"
+        ),
+    )
 
     compare = sub.add_parser(
         "compare", help="compare algorithms (Table 4 protocol)"
@@ -189,6 +235,8 @@ def _load(args) -> "object":
 
 
 def _config(args) -> MinerConfig:
+    from .resilience import ResiliencePolicy
+
     return MinerConfig(
         delta=args.delta,
         alpha=args.alpha,
@@ -196,6 +244,11 @@ def _config(args) -> MinerConfig:
         max_tree_depth=args.depth,
         interest_measure=args.measure,
         counting_backend=args.backend,
+        resilience=ResiliencePolicy(
+            max_retries=args.max_retries,
+            task_timeout_s=args.task_timeout,
+            backoff=args.retry_backoff,
+        ),
     )
 
 
@@ -218,8 +271,18 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_mine(args) -> int:
+    from .resilience import CheckpointError
+
     dataset = _load(args)
     config = _config(args)
+
+    if args.resume and args.validate is not None:
+        print(
+            "--resume continues the original run's exact state and "
+            "cannot be combined with --validate",
+            file=sys.stderr,
+        )
+        return 2
 
     holdout = None
     mine_on = dataset
@@ -228,9 +291,25 @@ def _cmd_mine(args) -> int:
 
         mine_on, holdout = train_holdout_split(dataset, args.validate)
 
-    result = ContrastSetMiner(config).mine(
-        mine_on, attributes=args.attributes, n_jobs=args.jobs
-    )
+    miner = ContrastSetMiner(config)
+    try:
+        if args.resume:
+            result = miner.resume(
+                args.resume,
+                dataset=mine_on,
+                n_jobs=args.jobs,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        else:
+            result = miner.mine(
+                mine_on,
+                attributes=args.attributes,
+                n_jobs=args.jobs,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
     if args.show_all:
         patterns = result.top(args.top)
         title = f"Top {len(patterns)} contrasts (raw)"
@@ -277,6 +356,19 @@ def _cmd_mine(args) -> int:
     if result.n_workers > 1:
         line += f" ({result.n_workers} workers)"
     print(line)
+    events = [
+        (stats.tasks_retried, "task retries"),
+        (stats.task_timeouts, "timeouts"),
+        (stats.worker_crashes, "worker crashes"),
+        (stats.serial_fallbacks, "serial fallbacks"),
+        (stats.tasks_failed, "permanent task failures"),
+        (stats.checkpoints_written, "checkpoints written"),
+    ]
+    fired = [f"{count} {label}" for count, label in events if count]
+    if stats.resumed_from_level:
+        fired.insert(0, f"resumed after level {stats.resumed_from_level}")
+    if fired:
+        print("resilience: " + ", ".join(fired))
     if args.explain_prunes:
         print()
         print(result.explain_prunes())

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..resilience.policy import ResiliencePolicy
+
 __all__ = ["MinerConfig"]
 
 
@@ -83,6 +85,11 @@ class MinerConfig:
     SDAD-CS NP configuration: with the redundancy-oriented pruning off,
     the paper's comparison deliberately keeps the redundant high-interest
     variants in the top-k (Section 5, experimental setup)."""
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    """Fault-tolerance policy of the parallel scheduler (per-task retry
+    count, timeout, backoff, and the serial-fallback switch).  Never
+    changes mined patterns — only how failures are survived.  See
+    :mod:`repro.resilience`."""
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -101,6 +108,8 @@ class MinerConfig:
             raise ValueError(
                 "counting_backend must be 'mask' or 'bitmap'"
             )
+        if not isinstance(self.resilience, ResiliencePolicy):
+            raise TypeError("resilience must be a ResiliencePolicy")
 
     def no_pruning(self) -> "MinerConfig":
         """The SDAD-CS NP configuration: same engine, all novel pruning

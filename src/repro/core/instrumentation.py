@@ -45,6 +45,26 @@ class MiningStats:
     """Prune lookup-table probes (Algorithm 1 lines 7-9)."""
     prune_table_hits: int = 0
     """Probes that found the key already pruned (skipped re-evaluation)."""
+    tasks_retried: int = 0
+    """Parallel tasks re-dispatched after a failed attempt."""
+    task_timeouts: int = 0
+    """Task attempts abandoned for exceeding the per-task budget."""
+    task_errors: int = 0
+    """Task attempts that raised inside a worker (poison-pill shards)."""
+    corrupt_results: int = 0
+    """Task attempts whose returned result failed validation."""
+    worker_crashes: int = 0
+    """Pool-breaking worker crashes (``BrokenProcessPool`` events)."""
+    pool_restarts: int = 0
+    """Times the process pool was rebuilt after breaking."""
+    serial_fallbacks: int = 0
+    """Tasks re-executed serially in the parent after exhausting retries."""
+    tasks_failed: int = 0
+    """Tasks that failed permanently (even the serial fallback)."""
+    checkpoints_written: int = 0
+    """Level-boundary checkpoints persisted during the run."""
+    resumed_from_level: int = 0
+    """Deepest completed level restored from a checkpoint (0 = fresh run)."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -81,6 +101,19 @@ class MiningStats:
             )
         self.prune_table_checks += other.prune_table_checks
         self.prune_table_hits += other.prune_table_hits
+        self.tasks_retried += other.tasks_retried
+        self.task_timeouts += other.task_timeouts
+        self.task_errors += other.task_errors
+        self.corrupt_results += other.corrupt_results
+        self.worker_crashes += other.worker_crashes
+        self.pool_restarts += other.pool_restarts
+        self.serial_fallbacks += other.serial_fallbacks
+        self.tasks_failed += other.tasks_failed
+        self.checkpoints_written += other.checkpoints_written
+        # Driver-level marker, not an additive event counter.
+        self.resumed_from_level = max(
+            self.resumed_from_level, other.resumed_from_level
+        )
 
 
 class Stopwatch:

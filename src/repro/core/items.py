@@ -195,6 +195,21 @@ class Itemset:
     def __iter__(self) -> Iterator[Item]:
         return iter(self._items)
 
+    # -- pickling -------------------------------------------------------
+    #
+    # The cached hash must NOT cross process boundaries: str hashing is
+    # salted per interpreter (PYTHONHASHSEED), so a hash computed in the
+    # writing process disagrees with hashes of equal itemsets built in
+    # the reading one — dict/set lookups would silently miss (observed
+    # as checkpoint resumes losing redundancy prunes).  Recompute it.
+
+    def __getstate__(self) -> tuple:
+        return self._items
+
+    def __setstate__(self, state: tuple) -> None:
+        self._items = state
+        self._hash = hash(state)
+
     def __hash__(self) -> int:
         return self._hash
 

@@ -17,7 +17,12 @@ same either way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # annotation-only imports (resume/fault-plan plumbing)
+    import os
+
+    from ..resilience.inject import FaultPlan
 
 from ..dataset.table import Dataset
 from .config import MinerConfig
@@ -53,6 +58,20 @@ class MiningSummary:
     """Per pipeline rule: candidates pruned."""
     prune_reasons: dict[str, int] = field(default_factory=dict)
     """Unique pruned keys per :class:`PruneReason` name."""
+    n_task_retries: int = 0
+    """Parallel tasks re-dispatched after a failed attempt."""
+    n_task_timeouts: int = 0
+    """Task attempts abandoned for exceeding the per-task budget."""
+    n_worker_crashes: int = 0
+    """Pool-breaking worker crashes survived during the run."""
+    n_serial_fallbacks: int = 0
+    """Tasks re-executed serially in the driver after exhausting retries."""
+    n_tasks_failed: int = 0
+    """Tasks that failed permanently (even the serial fallback)."""
+    n_checkpoints: int = 0
+    """Level-boundary checkpoints written during the run."""
+    resumed_from_level: int = 0
+    """Deepest completed level restored from a checkpoint (0 = fresh)."""
 
 
 @dataclass
@@ -91,6 +110,13 @@ class MiningResult:
             prune_rule_checks=dict(self.stats.prune_rule_checks),
             prune_rule_hits=dict(self.stats.prune_rule_hits),
             prune_reasons=dict(self.stats.prune_reasons),
+            n_task_retries=self.stats.tasks_retried,
+            n_task_timeouts=self.stats.task_timeouts,
+            n_worker_crashes=self.stats.worker_crashes,
+            n_serial_fallbacks=self.stats.serial_fallbacks,
+            n_tasks_failed=self.stats.tasks_failed,
+            n_checkpoints=self.stats.checkpoints_written,
+            resumed_from_level=self.stats.resumed_from_level,
         )
 
     def explain_prunes(self) -> str:
@@ -129,6 +155,9 @@ class ContrastSetMiner:
         groups: Sequence[str] | None = None,
         attributes: Sequence[str] | None = None,
         n_jobs: int = 1,
+        *,
+        checkpoint_dir: "str | os.PathLike | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> MiningResult:
         """Mine contrast patterns between groups of a dataset.
 
@@ -148,6 +177,17 @@ class ContrastSetMiner:
             scheduler of :mod:`repro.parallel`, which can evaluate
             slightly more partitions (some cross-subtree pruning is lost
             within a level) while producing the same contrasts.
+        checkpoint_dir:
+            Persist the full between-levels state here after every
+            completed level, for :meth:`resume`.  Checkpointing runs
+            through the level-wise scheduler, so passing this with
+            ``n_jobs=1`` still uses a (one-worker) pool; the patterns are
+            identical to the serial engine's either way.
+        fault_plan:
+            Deterministic fault-injection plan
+            (:class:`repro.resilience.FaultPlan`) — a test hook that
+            crashes, hangs, poisons, or corrupts chosen worker tasks to
+            exercise the retry/fallback machinery.
         """
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -155,13 +195,18 @@ class ContrastSetMiner:
             dataset = dataset.select_groups(groups)
         if dataset.n_groups < 2:
             raise ValueError("contrast mining needs at least two groups")
-        if n_jobs > 1:
+        if n_jobs > 1 or checkpoint_dir is not None or fault_plan is not None:
             # imported lazily: repro.parallel pulls in multiprocessing
             # machinery serial users never need
             from ..parallel.scheduler import parallel_search
 
             topk, stats, n_workers = parallel_search(
-                dataset, self.config, attributes, n_jobs
+                dataset,
+                self.config,
+                attributes,
+                n_jobs,
+                checkpoint_dir=checkpoint_dir,
+                fault_plan=fault_plan,
             )
         else:
             engine = SearchEngine(dataset, self.config, attributes)
@@ -174,5 +219,57 @@ class ContrastSetMiner:
             stats=stats,
             config=self.config,
             dataset=dataset,
+            n_workers=n_workers,
+        )
+
+    def resume(
+        self,
+        checkpoint: "str | os.PathLike",
+        dataset: Dataset | None = None,
+        n_jobs: int = 1,
+        *,
+        checkpoint_dir: "str | os.PathLike | None" = None,
+    ) -> MiningResult:
+        """Resume an interrupted run from a level-boundary checkpoint.
+
+        ``checkpoint`` is a checkpoint file or a directory holding them
+        (the deepest level wins).  The restored state — top-k list, alpha
+        ladder, viable itemsets, pure registry, stats, prune table — is
+        exactly what the interrupted run held between levels, so the
+        completed result matches an uninterrupted run bit-for-bit
+        (patterns *and* prune accounting).
+
+        The checkpoint's own dataset snapshot is mined (it is part of the
+        state); pass ``dataset`` to additionally assert the checkpoint
+        belongs to the data you think it does.  A checkpoint written
+        under a different :class:`MinerConfig` raises
+        :class:`~repro.resilience.CheckpointError`.  Pass
+        ``checkpoint_dir`` to keep writing new checkpoints while
+        finishing the run.
+        """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        from ..parallel.scheduler import parallel_search
+        from ..resilience.checkpoint import (
+            ensure_compatible,
+            load_checkpoint,
+        )
+
+        state = load_checkpoint(checkpoint)
+        ensure_compatible(state, config=self.config, dataset=dataset)
+        topk, stats, n_workers = parallel_search(
+            state.dataset,
+            self.config,
+            state.attributes,
+            n_jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=state,
+        )
+        return MiningResult(
+            patterns=topk.patterns(),
+            interests=topk.interests(),
+            stats=stats,
+            config=self.config,
+            dataset=state.dataset,
             n_workers=n_workers,
         )

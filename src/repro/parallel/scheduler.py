@@ -34,6 +34,17 @@ supports through the configured :mod:`counting backend <repro.counting>` —
 each worker builds its backend once in the pool initializer, so the bitmap
 backend's packed index and context cache persist across the tasks a worker
 processes.
+
+Task dispatch is fault-tolerant (DESIGN.md section 9): every task travels
+through :class:`~repro.resilience.executor.ResilientExecutor`, which
+classifies worker crashes, hangs, raised exceptions, and corrupt results,
+retries with exponential backoff under ``config.resilience``, rebuilds a
+broken pool, and finally re-executes an exhausted task serially in the
+driver so a run always completes.  At every level boundary the driver can
+persist the full between-levels state (``checkpoint_dir=``) and later
+continue from it (``resume_from=``) with bit-identical patterns and prune
+accounting.  A deterministic :class:`~repro.resilience.inject.FaultPlan`
+makes each of those failure paths drivable from tests.
 """
 
 from __future__ import annotations
@@ -58,6 +69,12 @@ from ..core.stats import AlphaLadder
 from ..core.topk import TopKList
 from ..counting import CountingBackend, make_backend
 from ..dataset.table import Dataset
+from ..resilience.checkpoint import (
+    MiningCheckpoint,
+    save_checkpoint,
+)
+from ..resilience.executor import ResilientExecutor, TaskEnvelope
+from ..resilience.inject import CORRUPT_SENTINEL, FaultPlan, apply_fault
 
 __all__ = ["mine_parallel", "mine_level_tasks", "parallel_search"]
 
@@ -66,13 +83,20 @@ __all__ = ["mine_parallel", "mine_level_tasks", "parallel_search"]
 _WORKER_DATASET: Dataset | None = None
 _WORKER_CONFIG: MinerConfig | None = None
 _WORKER_BACKEND: CountingBackend | None = None
+_WORKER_FAULT_PLAN: FaultPlan | None = None
 
 
-def _init_worker(dataset: Dataset, config: MinerConfig) -> None:
+def _init_worker(
+    dataset: Dataset,
+    config: MinerConfig,
+    fault_plan: FaultPlan | None = None,
+) -> None:
     global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_BACKEND
+    global _WORKER_FAULT_PLAN
     _WORKER_DATASET = dataset
     _WORKER_CONFIG = config
     _WORKER_BACKEND = make_backend(config.counting_backend, dataset)
+    _WORKER_FAULT_PLAN = fault_plan
 
 
 @dataclass
@@ -110,16 +134,20 @@ class _TaskOutcome:
     prune_table: PruneTable = field(default_factory=PruneTable)
 
 
-def _run_task(task: _LevelTask) -> _TaskOutcome:
-    """Worker body: mine one attribute combination.
+def _execute_task(
+    task: _LevelTask,
+    dataset: Dataset,
+    config: MinerConfig,
+    backend: CountingBackend,
+) -> _TaskOutcome:
+    """Mine one attribute combination (worker body and serial fallback).
 
     Candidates flow through the same :class:`PruningPipeline` lifecycle as
     the serial engine; the pipeline's stats and prune table travel back in
-    the outcome for the driver to merge.
+    the outcome for the driver to merge.  Each call uses a fresh pipeline
+    and stats object, so a retried task reports exactly the counters a
+    first-attempt execution would.
     """
-    dataset, config = _WORKER_DATASET, _WORKER_CONFIG
-    backend = _WORKER_BACKEND
-    assert dataset is not None and config is not None and backend is not None
     outcome = _TaskOutcome()
     stats = MiningStats()
     pipeline = PruningPipeline(config, stats=stats)
@@ -185,6 +213,51 @@ def _run_task(task: _LevelTask) -> _TaskOutcome:
     outcome.stats = stats
     outcome.prune_table = pipeline.prune_table
     return outcome
+
+
+def _run_task(envelope: TaskEnvelope) -> object:
+    """Pool entry point: apply any injected fault, then run the task.
+
+    The envelope carries the task's global sequence number and attempt
+    count so the worker-side :class:`FaultPlan` can fire deterministically
+    (and stop firing once its configured attempt budget is spent).  The
+    serial fallback in the driver bypasses this wrapper entirely — faults
+    only ever hit the parallel path.
+    """
+    dataset, config = _WORKER_DATASET, _WORKER_CONFIG
+    backend = _WORKER_BACKEND
+    assert dataset is not None and config is not None and backend is not None
+    corrupt = False
+    if _WORKER_FAULT_PLAN is not None:
+        spec = _WORKER_FAULT_PLAN.spec_for(envelope.seq, envelope.attempt)
+        if spec is not None:
+            corrupt = apply_fault(spec, envelope.seq, envelope.attempt)
+    outcome = _execute_task(envelope.payload, dataset, config, backend)
+    if corrupt:
+        return CORRUPT_SENTINEL
+    return outcome
+
+
+class _SerialFallback:
+    """Parent-process task runner used once parallel retries are spent.
+
+    Builds its counting backend lazily (most runs never fall back) and
+    keeps it across tasks, mirroring a worker's long-lived backend; the
+    per-task pipeline/stats stay fresh so the outcome's counters are
+    identical to a worker execution of the same task.
+    """
+
+    def __init__(self, dataset: Dataset, config: MinerConfig) -> None:
+        self._dataset = dataset
+        self._config = config
+        self._backend: CountingBackend | None = None
+
+    def __call__(self, task: _LevelTask) -> _TaskOutcome:
+        if self._backend is None:
+            self._backend = make_backend(
+                self._config.counting_backend, self._dataset
+            )
+        return _execute_task(task, self._dataset, self._config, self._backend)
 
 
 def _relevant_subsets(
@@ -330,8 +403,12 @@ def parallel_search(
     config: MinerConfig | None = None,
     attributes: Sequence[str] | None = None,
     n_workers: int | None = None,
+    *,
+    checkpoint_dir: "str | os.PathLike | None" = None,
+    resume_from: MiningCheckpoint | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[TopKList, MiningStats, int]:
-    """Level-parallel search over a process pool.
+    """Level-parallel search over a fault-tolerant process pool.
 
     Within a level every attribute-combination task runs independently
     through the shared pruning pipeline; between levels the shared top-k
@@ -340,38 +417,72 @@ def parallel_search(
     gathered results — the scheme the paper sketches for cluster
     execution.
 
+    Dispatch runs through :class:`ResilientExecutor` under
+    ``config.resilience``: crashed, hung, or poisoned tasks are retried
+    with backoff and ultimately re-executed serially in this process, so
+    the search completes (with identical patterns — outcomes are merged
+    in task order regardless of completion order) even under worker
+    failures.  With ``checkpoint_dir`` the full between-levels state is
+    persisted after every level; ``resume_from`` restores such a
+    checkpoint and continues at the next level.  ``fault_plan`` is the
+    deterministic test hook injecting worker faults
+    (:mod:`repro.resilience.inject`).
+
     Returns the top-k list, the accumulated stats (counting-backend
-    counters, per-rule prune checks/hits/times, and prune-table reason
-    counts merged from every worker), and the worker count actually used.
-    Callers normally reach this through
-    ``ContrastSetMiner.mine(..., n_jobs=N)``.
+    counters, per-rule prune checks/hits/times, prune-table reason counts
+    merged from every worker, and the retry/timeout/crash/fallback
+    counters), and the worker count actually used.  Callers normally
+    reach this through ``ContrastSetMiner.mine(..., n_jobs=N)``.
     """
     config = config or MinerConfig()
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
     if attributes is not None:
         for name in attributes:
             dataset.attribute(name)  # validate
-    stats = MiningStats()
-    stats.counting_backend = config.counting_backend
-    prune_table = PruneTable()
-    ladder = AlphaLadder(config.alpha)
-    topk = TopKList(config.k, config.delta)
+
+    if resume_from is not None:
+        attributes = resume_from.attributes
+        stats = resume_from.stats
+        prune_table = resume_from.prune_table
+        ladder = resume_from.ladder
+        topk = resume_from.topk
+        viable_by_prefix = resume_from.viable_by_prefix
+        previous_patterns = resume_from.previous_patterns
+        known_pure = resume_from.known_pure
+        start_level = resume_from.completed_level + 1
+        stats.resumed_from_level = resume_from.completed_level
+    else:
+        stats = MiningStats()
+        stats.counting_backend = config.counting_backend
+        prune_table = PruneTable()
+        ladder = AlphaLadder(config.alpha)
+        topk = TopKList(config.k, config.delta)
+        viable_by_prefix = {}
+        previous_patterns = {}
+        known_pure = []
+        start_level = 1
     measure = measures.get(config.interest_measure)
-    viable_by_prefix: dict[tuple[str, ...], list[Itemset]] = {}
-    previous_patterns: dict[Itemset, ContrastPattern] = {}
-    known_pure: list[Itemset] = []
     names = (
         tuple(attributes) if attributes is not None else dataset.schema.names
     )
     max_depth = min(config.max_tree_depth, len(names))
 
-    with Stopwatch(stats):
-        with ProcessPoolExecutor(
+    executor = ResilientExecutor(
+        pool_factory=lambda: ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_init_worker,
-            initargs=(dataset, config),
-        ) as pool:
-            for level in range(1, max_depth + 1):
+            initargs=(dataset, config, fault_plan),
+        ),
+        worker_fn=_run_task,
+        serial_fn=_SerialFallback(dataset, config),
+        policy=config.resilience,
+        stats=stats,
+        validate=lambda result: isinstance(result, _TaskOutcome),
+    )
+    task_seq = 0
+    with Stopwatch(stats):
+        try:
+            for level in range(start_level, max_depth + 1):
                 tasks = mine_level_tasks(
                     dataset,
                     level,
@@ -386,11 +497,15 @@ def parallel_search(
                 if not tasks:
                     break
                 stats.nodes_expanded += math.comb(len(names), level)
+                outcomes = executor.run(tasks, seq_base=task_seq)
+                task_seq += len(tasks)
                 next_viable: dict[tuple[str, ...], list[Itemset]] = {}
                 next_patterns: dict[Itemset, ContrastPattern] = {}
-                for task, outcome in zip(
-                    tasks, pool.map(_run_task, tasks, chunksize=1)
-                ):
+                # Merge in task order — completion order (retries, pool
+                # rebuilds) must never influence top-k tie-breaking.
+                for task, outcome in zip(tasks, outcomes):
+                    if outcome is None:
+                        continue  # permanently failed; recorded in stats
                     stats.merge_from(outcome.stats)
                     prune_table.merge_from(outcome.prune_table)
                     for pattern in outcome.patterns:
@@ -404,21 +519,60 @@ def parallel_search(
                             next_patterns[pattern.itemset] = pattern
                 viable_by_prefix.update(next_viable)
                 previous_patterns = next_patterns
+                if checkpoint_dir is not None:
+                    save_checkpoint(
+                        checkpoint_dir,
+                        MiningCheckpoint(
+                            config=config,
+                            dataset=dataset,
+                            completed_level=level,
+                            attributes=(
+                                tuple(attributes)
+                                if attributes is not None
+                                else None
+                            ),
+                            topk=topk,
+                            viable_by_prefix=viable_by_prefix,
+                            previous_patterns=previous_patterns,
+                            known_pure=known_pure,
+                            ladder=ladder,
+                            stats=stats,
+                            prune_table=prune_table,
+                        ),
+                    )
+                    stats.checkpoints_written += 1
+        finally:
+            executor.shutdown()
     stats.prune_table_checks = prune_table.checks
     stats.prune_table_hits = prune_table.hits
     return topk, stats, n_workers
+
+
+_MINE_PARALLEL_KWARGS = frozenset(
+    {"groups", "attributes", "checkpoint_dir", "fault_plan"}
+)
 
 
 def mine_parallel(
     dataset: Dataset,
     config: MinerConfig | None = None,
     n_workers: int | None = None,
+    **kwargs,
 ):
     """Deprecated: use ``ContrastSetMiner(config).mine(dataset, n_jobs=N)``.
 
     Kept for one release as a thin shim over the unified entry point; it
     returns the same :class:`repro.core.miner.MiningResult` the miner does.
+    Keyword arguments the unified ``mine`` accepts (``groups``,
+    ``attributes``, ``checkpoint_dir``, ``fault_plan``) are forwarded;
+    anything else raises ``TypeError`` instead of being silently dropped.
     """
+    unexpected = set(kwargs) - _MINE_PARALLEL_KWARGS
+    if unexpected:
+        raise TypeError(
+            "mine_parallel() got unexpected keyword argument(s): "
+            + ", ".join(sorted(unexpected))
+        )
     warnings.warn(
         "mine_parallel is deprecated; use "
         "ContrastSetMiner(config).mine(dataset, n_jobs=n_workers) instead",
@@ -428,7 +582,7 @@ def mine_parallel(
     from ..core.miner import ContrastSetMiner
 
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
-    return ContrastSetMiner(config).mine(dataset, n_jobs=n_workers)
+    return ContrastSetMiner(config).mine(dataset, n_jobs=n_workers, **kwargs)
 
 
 def __getattr__(name: str):

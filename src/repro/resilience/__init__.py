@@ -1,0 +1,68 @@
+"""Fault tolerance for parallel mining (retry / timeout / fallback,
+checkpoint / resume, deterministic fault injection).
+
+The ROADMAP's always-on deployments cannot afford a run that dies with
+its first crashed worker or a level-wise search that starts over after an
+interruption.  This package gives the scheduler three independent
+guarantees:
+
+* **every task completes** — failed dispatches are classified
+  (:class:`~repro.resilience.executor.FailureKind`), retried with
+  exponential backoff under :class:`ResiliencePolicy`, and finally
+  re-executed serially in the parent process;
+* **every level persists** — :mod:`~repro.resilience.checkpoint`
+  snapshots the between-levels state so ``ContrastSetMiner.resume``
+  continues exactly where a killed run stopped;
+* **every failure path is testable** — :class:`FaultPlan` injects
+  deterministic worker crashes, hangs, poison-pill errors, and corrupt
+  results, which the property suite uses to prove that none of this
+  machinery ever changes mined patterns.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    MiningCheckpoint,
+    dataset_fingerprint,
+    ensure_compatible,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .executor import (
+    FailureKind,
+    ResilientExecutor,
+    TaskEnvelope,
+    TaskFailure,
+)
+from .inject import (
+    CORRUPT_SENTINEL,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    apply_fault,
+)
+from .policy import ResiliencePolicy
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "MiningCheckpoint",
+    "dataset_fingerprint",
+    "ensure_compatible",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "FailureKind",
+    "ResilientExecutor",
+    "TaskEnvelope",
+    "TaskFailure",
+    "CORRUPT_SENTINEL",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "apply_fault",
+    "ResiliencePolicy",
+]

@@ -1,0 +1,321 @@
+"""Fault-tolerant task execution over a process pool.
+
+:class:`ResilientExecutor` is the dispatch loop behind
+``ContrastSetMiner.mine(..., n_jobs=N)``: it submits task envelopes to a
+``ProcessPoolExecutor``, watches per-task deadlines, classifies failures
+(worker crash / raised exception / timeout / corrupt result), retries
+with exponential backoff, rebuilds a broken pool, and — once a task has
+exhausted its parallel retries — re-executes it serially in the parent
+process so a run always completes.
+
+The executor is generic over the work it runs: the scheduler supplies a
+picklable module-level ``worker_fn`` (which also applies the fault
+injection plan, see :mod:`repro.resilience.inject`), a parent-process
+``serial_fn`` fallback, and a ``validate`` predicate that rejects
+corrupted results.  Results are returned **in task order**, whatever
+order attempts completed in, so retries and crashes never change how the
+driver folds outcomes into the shared top-k and prune state.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.instrumentation import MiningStats
+from .policy import ResiliencePolicy
+
+__all__ = [
+    "FailureKind",
+    "TaskFailure",
+    "TaskEnvelope",
+    "ResilientExecutor",
+]
+
+
+class FailureKind(enum.Enum):
+    """Classification of a failed task attempt."""
+
+    CRASH = "worker crash (broken process pool)"
+    TIMEOUT = "task exceeded its wall-clock budget"
+    ERROR = "task raised an exception"
+    CORRUPT = "task returned a corrupt result"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt, as recorded by the executor."""
+
+    seq: int
+    kind: FailureKind
+    attempt: int
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """What actually travels to a worker: the task plus its identity.
+
+    ``seq`` is the global task sequence number (stable across retries,
+    used by the fault-injection plan); ``attempt`` is the 0-based dispatch
+    count, so injected faults can be configured to fire only on the first
+    N attempts.
+    """
+
+    seq: int
+    attempt: int
+    payload: Any
+
+
+class ResilientExecutor:
+    """Retry/timeout/fallback dispatch over a rebuildable process pool.
+
+    Parameters
+    ----------
+    pool_factory:
+        Zero-argument callable building a fresh ``ProcessPoolExecutor``
+        (with initializer/initargs); invoked lazily and again after every
+        pool-breaking worker crash.
+    worker_fn:
+        Picklable function executed in workers: ``worker_fn(envelope) ->
+        result``.
+    serial_fn:
+        Parent-process fallback: ``serial_fn(payload) -> result``.  Runs
+        without fault injection.
+    policy:
+        The :class:`~repro.resilience.policy.ResiliencePolicy` in force.
+    stats:
+        Driver-side :class:`MiningStats`; retry/timeout/crash/fallback
+        counters accrue here.
+    validate:
+        Optional predicate on worker results; a falsy verdict classifies
+        the attempt as ``CORRUPT`` and schedules a retry.
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], Any],
+        worker_fn: Callable[[TaskEnvelope], Any],
+        serial_fn: Callable[[Any], Any],
+        policy: ResiliencePolicy | None = None,
+        stats: MiningStats | None = None,
+        validate: Callable[[Any], bool] | None = None,
+    ) -> None:
+        self._pool_factory = pool_factory
+        self._worker_fn = worker_fn
+        self._serial_fn = serial_fn
+        self._policy = policy or ResiliencePolicy()
+        self._stats = stats if stats is not None else MiningStats()
+        self._validate = validate
+        self._pool = None
+        self.failures: list[TaskFailure] = []
+        """Every failed attempt observed, in detection order."""
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_factory()
+        return self._pool
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._stats.pool_restarts += 1
+        self._pool = self._pool_factory()
+
+    def shutdown(self) -> None:
+        """Release the pool (hung injected tasks are abandoned, not joined)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ResilientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+
+    def run(self, payloads: Sequence[Any], seq_base: int = 0) -> list[Any]:
+        """Execute every payload, returning results in task order.
+
+        A task that failed every parallel attempt *and* its serial
+        fallback (or has fallback disabled) yields ``None`` in its slot;
+        the permanent failure is recorded in :attr:`failures` and in the
+        stats counters.
+        """
+        n = len(payloads)
+        results: list[Any] = [None] * n
+        completed = [False] * n
+        attempts = [0] * n  # dispatches made so far, per task
+        pending: dict[Future, tuple[int, float | None]] = {}
+        retry_heap: list[tuple[float, int]] = []  # (ready_time, idx)
+        fallback: list[int] = []
+        timeout_s = self._policy.task_timeout_s
+
+        def submit(idx: int) -> None:
+            envelope = TaskEnvelope(
+                seq_base + idx, attempts[idx], payloads[idx]
+            )
+            attempts[idx] += 1
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(self._worker_fn, envelope)
+            except (BrokenExecutor, RuntimeError):
+                # Pool died between our bookkeeping and this submit.
+                self._rebuild_pool()
+                future = self._pool.submit(self._worker_fn, envelope)
+            deadline = (
+                None if timeout_s is None else time.monotonic() + timeout_s
+            )
+            pending[future] = (idx, deadline)
+
+        def record_failure(
+            idx: int, kind: FailureKind, message: str = ""
+        ) -> None:
+            self.failures.append(
+                TaskFailure(seq_base + idx, kind, attempts[idx] - 1, message)
+            )
+            if kind is FailureKind.TIMEOUT:
+                self._stats.task_timeouts += 1
+            elif kind is FailureKind.ERROR:
+                self._stats.task_errors += 1
+            elif kind is FailureKind.CORRUPT:
+                self._stats.corrupt_results += 1
+            if attempts[idx] <= self._policy.max_retries:
+                self._stats.tasks_retried += 1
+                ready = time.monotonic() + self._policy.retry_delay(
+                    attempts[idx]
+                )
+                heapq.heappush(retry_heap, (ready, idx))
+            else:
+                fallback.append(idx)
+
+        for idx in range(n):
+            submit(idx)
+
+        while pending or retry_heap:
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, idx = heapq.heappop(retry_heap)
+                submit(idx)
+            if not pending:
+                if retry_heap:
+                    time.sleep(max(0.0, retry_heap[0][0] - time.monotonic()))
+                continue
+
+            # Wake up for the earliest of: a completion, a task deadline,
+            # a retry becoming ready.
+            targets = [
+                deadline
+                for _, deadline in pending.values()
+                if deadline is not None
+            ]
+            if retry_heap:
+                targets.append(retry_heap[0][0])
+            wait_for = (
+                None
+                if not targets
+                else max(0.0, min(targets) - time.monotonic())
+            )
+            done, _ = wait(
+                list(pending), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for future in done:
+                idx, _ = pending.pop(future)
+                if completed[idx]:
+                    continue  # a timed-out attempt completing late
+                try:
+                    result = future.result()
+                except BrokenExecutor as exc:
+                    pool_broken = True
+                    record_failure(idx, FailureKind.CRASH, str(exc))
+                    continue
+                except Exception as exc:
+                    record_failure(
+                        idx,
+                        FailureKind.ERROR,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                    continue
+                if self._validate is not None and not self._validate(result):
+                    record_failure(
+                        idx, FailureKind.CORRUPT, "result failed validation"
+                    )
+                    continue
+                results[idx] = result
+                completed[idx] = True
+
+            if pool_broken:
+                # The whole pool dies with a crashed worker: classify every
+                # in-flight task as a crash victim and start a fresh pool.
+                self._stats.worker_crashes += 1
+                for future, (idx, _) in list(pending.items()):
+                    del pending[future]
+                    if not completed[idx]:
+                        record_failure(
+                            idx,
+                            FailureKind.CRASH,
+                            "pool broken by a crashed worker",
+                        )
+                self._rebuild_pool()
+                continue
+
+            # Expire deadlines of tasks that are actually running; queued
+            # tasks get their clock restarted so a hung sibling does not
+            # time them out while they wait for a worker.
+            now = time.monotonic()
+            for future, (idx, deadline) in list(pending.items()):
+                if deadline is None or future.done():
+                    continue
+                if deadline > now:
+                    continue
+                if not future.running():
+                    if future.cancel():
+                        del pending[future]
+                        attempts[idx] -= 1  # never dispatched; not a retry
+                        submit(idx)
+                    else:
+                        pending[future] = (idx, now + timeout_s)
+                    continue
+                del pending[future]
+                record_failure(
+                    idx,
+                    FailureKind.TIMEOUT,
+                    f"exceeded {timeout_s}s task budget",
+                )
+
+        for idx in sorted(fallback):
+            if completed[idx]:
+                continue
+            if not self._policy.serial_fallback:
+                self._stats.tasks_failed += 1
+                continue
+            self._stats.serial_fallbacks += 1
+            try:
+                results[idx] = self._serial_fn(payloads[idx])
+                completed[idx] = True
+            except Exception as exc:
+                self.failures.append(
+                    TaskFailure(
+                        seq_base + idx,
+                        FailureKind.ERROR,
+                        attempts[idx],
+                        f"serial fallback failed: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                self._stats.tasks_failed += 1
+        return results

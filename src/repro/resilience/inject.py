@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the parallel scheduler.
+
+Every failure path of the resilience layer is drivable from a test:
+a :class:`FaultPlan` maps global task sequence numbers to a
+:class:`FaultSpec`, the plan is shipped to every worker through the pool
+initializer, and the worker consults it right before executing a task.
+Because the plan is keyed on ``(task sequence, attempt)`` the injected
+behaviour is fully deterministic — the same plan against the same dataset
+produces the same crashes, hangs, and corrupted results on every run,
+which is what lets the property suite assert byte-identical mining
+output across fault scenarios.
+
+Supported fault kinds:
+
+``KILL``
+    ``os._exit`` the worker process mid-task — the driver sees a
+    ``BrokenProcessPool`` (the whole pool dies with the worker).
+``HANG``
+    Sleep ``hang_s`` seconds before completing, tripping the driver's
+    per-task timeout (the worker stays alive and returns a result the
+    driver has already abandoned).
+``ERROR``
+    Raise :class:`InjectedFault` — a "poison pill" task that fails the
+    same way on every attempt it is configured to fire.
+``CORRUPT``
+    Execute the task normally but replace the returned outcome with a
+    sentinel the driver's result validation rejects.
+
+Downstream test authors: build a plan with the ``kill_nth`` / ``hang_nth``
+/ ``corrupt_nth`` / ``error_nth`` helpers (or combine specs in the
+constructor) and pass it to ``ContrastSetMiner.mine(..., fault_plan=plan)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "CORRUPT_SENTINEL",
+    "apply_fault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an ``ERROR`` fault — a deterministic poison-pill task."""
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault does to the task it fires on."""
+
+    KILL = "kill worker process"
+    HANG = "hang past the task timeout"
+    ERROR = "raise inside the task"
+    CORRUPT = "corrupt the task result"
+
+
+CORRUPT_SENTINEL = "<corrupt-task-result>"
+"""What a ``CORRUPT`` fault returns instead of the real task outcome."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to do, and on how many attempts to do it.
+
+    ``times`` is the number of *attempts* the fault fires on: ``1`` fails
+    only the first dispatch (the retry then succeeds), ``math.inf`` fails
+    every parallel attempt (forcing the serial fallback, which never
+    consults the plan).
+    """
+
+    kind: FaultKind
+    times: float = 1
+    hang_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+
+    def fires_on(self, attempt: int) -> bool:
+        """Whether the fault fires on a 0-based attempt number."""
+        return attempt < self.times
+
+
+class FaultPlan:
+    """Deterministic mapping of global task sequence numbers to faults.
+
+    Task sequence numbers are assigned by the scheduler in submission
+    order across levels (task 0 is the first task of level 1), so a plan
+    written against a known dataset/config pair addresses exact tasks.
+    """
+
+    def __init__(self, faults: Mapping[int, FaultSpec] | None = None) -> None:
+        self._faults: dict[int, FaultSpec] = dict(faults or {})
+        for seq, spec in self._faults.items():
+            if seq < 0:
+                raise ValueError("task sequence numbers must be >= 0")
+            if not isinstance(spec, FaultSpec):
+                raise TypeError("fault plan values must be FaultSpec")
+
+    @classmethod
+    def kill_nth(cls, n: int, times: float = 1) -> "FaultPlan":
+        """Kill the worker running the ``n``-th task (0-based)."""
+        return cls({n: FaultSpec(FaultKind.KILL, times=times)})
+
+    @classmethod
+    def hang_nth(
+        cls, n: int, hang_s: float = 0.5, times: float = 1
+    ) -> "FaultPlan":
+        """Hang the ``n``-th task for ``hang_s`` seconds."""
+        return cls({n: FaultSpec(FaultKind.HANG, times=times, hang_s=hang_s)})
+
+    @classmethod
+    def error_nth(cls, n: int, times: float = 1) -> "FaultPlan":
+        """Raise :class:`InjectedFault` inside the ``n``-th task."""
+        return cls({n: FaultSpec(FaultKind.ERROR, times=times)})
+
+    @classmethod
+    def corrupt_nth(cls, n: int, times: float = 1) -> "FaultPlan":
+        """Corrupt the result of the ``n``-th task."""
+        return cls({n: FaultSpec(FaultKind.CORRUPT, times=times)})
+
+    @classmethod
+    def poison_nth(cls, n: int) -> "FaultPlan":
+        """A task that fails every parallel attempt (serial fallback path)."""
+        return cls({n: FaultSpec(FaultKind.ERROR, times=math.inf)})
+
+    def merged_with(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (``other`` wins on colliding task numbers)."""
+        merged = dict(self._faults)
+        merged.update(other._faults)
+        return FaultPlan(merged)
+
+    def spec_for(self, seq: int, attempt: int) -> FaultSpec | None:
+        """The fault to apply for this (task, attempt), if any."""
+        spec = self._faults.get(seq)
+        if spec is not None and spec.fires_on(attempt):
+            return spec
+        return None
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(
+            f"{seq}: {spec.kind.name}x{spec.times}"
+            for seq, spec in sorted(self._faults.items())
+        )
+        return f"FaultPlan({{{body}}})"
+
+
+def apply_fault(spec: FaultSpec, seq: int, attempt: int) -> bool:
+    """Execute a fault inside a worker.
+
+    Returns True when the caller should corrupt its result (``CORRUPT``);
+    ``KILL`` never returns, ``ERROR`` raises, ``HANG`` returns after
+    sleeping.
+    """
+    if spec.kind is FaultKind.KILL:
+        os._exit(17)
+    if spec.kind is FaultKind.HANG:
+        time.sleep(spec.hang_s)
+        return False
+    if spec.kind is FaultKind.ERROR:
+        raise InjectedFault(
+            f"injected fault: task {seq} poisoned on attempt {attempt}"
+        )
+    if spec.kind is FaultKind.CORRUPT:
+        return True
+    raise ValueError(f"unknown fault kind: {spec.kind!r}")  # pragma: no cover

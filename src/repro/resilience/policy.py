@@ -1,0 +1,60 @@
+"""Retry/timeout/fallback policy for fault-tolerant parallel mining.
+
+The policy is carried by :class:`~repro.core.config.MinerConfig` (the
+``resilience`` field) so a single frozen config object still describes a
+whole run — including how it behaves when workers crash or hang.  It is
+deliberately free of any ``repro`` imports: the config module depends on
+it, not the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the parallel scheduler reacts to failing tasks.
+
+    Attributes
+    ----------
+    max_retries:
+        How many times a failed task (worker crash, timeout, raised
+        exception, corrupt result) is re-dispatched to the pool before
+        the scheduler gives up on parallel execution of that task.
+    task_timeout_s:
+        Per-task wall-clock budget, measured from the moment the task
+        starts running in a worker.  ``None`` (the default) disables
+        timeouts — a hung worker then blocks the level, exactly like the
+        pre-resilience scheduler.
+    backoff:
+        Base of the exponential retry backoff: attempt ``n`` (1-based
+        retry count) waits ``backoff * 2**(n - 1)`` seconds before being
+        re-submitted.
+    serial_fallback:
+        After ``max_retries`` parallel attempts, re-execute the task
+        serially in the parent process so a run always completes.  When
+        disabled an exhausted task is recorded as failed and its
+        candidates are skipped.
+    """
+
+    max_retries: int = 2
+    task_timeout_s: float | None = None
+    backoff: float = 0.1
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive or None")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before re-submitting the ``attempt``-th retry (1-based)."""
+        if attempt < 1:
+            raise ValueError("retry attempts are 1-based")
+        return self.backoff * (2 ** (attempt - 1))

@@ -46,6 +46,10 @@ class StreamUpdate:
     are directly comparable with ``MiningResult.summary().prune_reasons``
     — a window whose pruning profile shifts (e.g. redundancy suddenly
     dominating) is an early drift signal alongside emerged/vanished."""
+    degraded: bool = False
+    """True when a parallel refresh failed outright and the window was
+    re-mined serially instead — the monitoring loop kept its cadence, but
+    this refresh ran without workers (see ``fallback_refreshes``)."""
 
     @property
     def drifted(self) -> bool:
@@ -130,6 +134,13 @@ class StreamingContrastMiner:
         first update once the window has ``min_rows`` rows).
     min_rows:
         Do not mine before the window holds at least this many rows.
+    n_jobs:
+        Worker processes per refresh (``> 1`` routes each refresh through
+        the fault-tolerant parallel scheduler).  An always-on monitoring
+        loop must outlive any single bad refresh: if a parallel refresh
+        still fails — pool creation itself failing, resource exhaustion —
+        the window is re-mined serially and the update is flagged
+        ``degraded`` rather than killing the stream.
     """
 
     def __init__(
@@ -140,13 +151,20 @@ class StreamingContrastMiner:
         window_size: int = 5000,
         refresh_every: int = 1000,
         min_rows: int = 200,
+        n_jobs: int = 1,
     ) -> None:
         if refresh_every < 1:
             raise ValueError("refresh_every must be positive")
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         self.config = config or MinerConfig()
         self.window = SlidingWindow(schema, group_labels, window_size)
         self.refresh_every = refresh_every
         self.min_rows = min_rows
+        self.n_jobs = n_jobs
+        self.fallback_refreshes = 0
+        """Refreshes that fell back to serial mining after a parallel
+        failure (the stream-level graceful-degradation counter)."""
         self._since_refresh = 0
         self._patterns: list[ContrastPattern] = []
         self._ever_refreshed = False
@@ -193,8 +211,21 @@ class StreamingContrastMiner:
         mineable = all(size > 0 for size in snapshot.group_sizes)
         new_patterns: list[ContrastPattern] = []
         prune_counts: dict[str, int] = {}
+        degraded = False
         if mineable:
-            result = ContrastSetMiner(self.config).mine(snapshot)
+            miner = ContrastSetMiner(self.config)
+            try:
+                result = miner.mine(snapshot, n_jobs=self.n_jobs)
+            except Exception:
+                if self.n_jobs == 1:
+                    raise
+                # The scheduler already retries and falls back per task;
+                # reaching here means the parallel run itself could not
+                # start or finish.  Degrade to a serial refresh so the
+                # monitoring loop never drops a beat.
+                self.fallback_refreshes += 1
+                degraded = True
+                result = miner.mine(snapshot)
             new_patterns = result.patterns
             prune_counts = dict(result.stats.prune_reasons)
 
@@ -221,4 +252,5 @@ class StreamingContrastMiner:
             emerged=emerged if previous_existed else list(new_patterns),
             vanished=vanished if previous_existed else [],
             prune_counts=prune_counts,
+            degraded=degraded,
         )

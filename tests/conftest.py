@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and pytest/hypothesis wiring for the test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,44 @@ import numpy as np
 import pytest
 
 from repro import Attribute, Dataset, Schema
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("fast", max_examples=10)
+    _hyp_settings.register_profile("slow", max_examples=50)
+except ImportError:  # pragma: no cover - hypothesis always in the image
+    _hyp_settings = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help=(
+            "run slow tests (multi-process fault drills, deeper "
+            "hypothesis profiles)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: slow test, only runs with --runslow"
+    )
+    if _hyp_settings is not None:
+        profile = "slow" if config.getoption("--runslow") else "fast"
+        _hyp_settings.load_profile(profile)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

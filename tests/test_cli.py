@@ -102,6 +102,84 @@ class TestMine:
         assert "Characteristic of" in out
 
 
+class TestMineCheckpoints:
+    def test_checkpoint_dir_writes_and_reports(
+        self, csv_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "2",
+             "--checkpoint-dir", str(ckpt)]
+        )
+        assert code == 0
+        assert sorted(p.name for p in ckpt.glob("*.pkl"))
+        out = capsys.readouterr().out
+        assert "checkpoints written" in out
+
+    def test_resume_completes_run(self, csv_path, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["mine", csv_path, "--group", "group", "--depth", "2",
+             "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        first = capsys.readouterr().out
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "2",
+             "--resume", str(ckpt / "checkpoint-level-01.pkl")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed after level 1" in out
+        # same table of contrasts as the uninterrupted run
+        assert out.splitlines()[0] == first.splitlines()[0]
+
+    def test_resume_with_wrong_config_fails_cleanly(
+        self, csv_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["mine", csv_path, "--group", "group", "--depth", "2",
+             "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "3",
+             "--resume", str(ckpt)]
+        )
+        assert code == 2
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_fails_cleanly(
+        self, csv_path, tmp_path, capsys
+    ):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "2",
+             "--resume", str(tmp_path / "nope.pkl")]
+        )
+        assert code == 2
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_validate(
+        self, csv_path, tmp_path, capsys
+    ):
+        code = main(
+            ["mine", csv_path, "--group", "group",
+             "--resume", str(tmp_path / "any.pkl"),
+             "--validate", "0.3"]
+        )
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_retry_flags_accepted(self, csv_path, capsys):
+        code = main(
+            ["mine", csv_path, "--group", "group", "--depth", "1",
+             "--max-retries", "1", "--task-timeout", "30",
+             "--retry-backoff", "0.05"]
+        )
+        assert code == 0
+        assert "partitions evaluated" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_two_algorithms(self, csv_path, capsys):
         code = main(

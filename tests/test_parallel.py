@@ -145,6 +145,55 @@ class TestDeprecatedShims:
             from repro.parallel import ParallelMiningResult
         assert ParallelMiningResult is MiningResult
 
+    def test_mine_parallel_rejects_unexpected_kwargs(self, small_trace):
+        """Regression: a typo'd kwarg used to be swallowed silently; it
+        must raise like any normal function call would."""
+        from repro.parallel import mine_parallel
+
+        config = MinerConfig(k=10, max_tree_depth=1)
+        with pytest.raises(
+            TypeError, match="unexpected keyword argument.*n_jobs"
+        ):
+            mine_parallel(small_trace, config, n_jobs=2)
+        with pytest.raises(
+            TypeError, match="unexpected keyword argument.*checkpoints"
+        ):
+            mine_parallel(small_trace, config, checkpoints="/tmp/x")
+
+    def test_mine_parallel_rejects_before_warning(self, small_trace):
+        """The TypeError beats the DeprecationWarning: a broken call
+        should not count as a deprecated-API use."""
+        from repro.parallel import mine_parallel
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(TypeError):
+                mine_parallel(small_trace, bogus=1)
+        assert not [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_mine_parallel_forwards_known_kwargs(
+        self, small_trace, tmp_path
+    ):
+        """Supported kwargs reach the unified mine(): checkpoint_dir
+        produces level checkpoints through the shim too."""
+        from repro.parallel import mine_parallel
+
+        config = MinerConfig(k=10, max_tree_depth=1)
+        with pytest.warns(DeprecationWarning, match="mine_parallel"):
+            result = mine_parallel(
+                small_trace,
+                config,
+                n_workers=2,
+                checkpoint_dir=tmp_path,
+            )
+        assert isinstance(result, MiningResult)
+        assert list(tmp_path.glob("checkpoint-level-*.pkl"))
+        assert result.summary().n_checkpoints >= 1
+
 
 class TestParallelSearch:
     def test_returns_topk_stats_workers(self, small_trace):

@@ -8,7 +8,11 @@ must hold regardless of the data:
 * the top-k list is sorted by the configured interest measure;
 * the no-pruning variant never reports fewer patterns nor evaluates fewer
   partitions;
-* group permutation invariance: relabelling groups only relabels outputs.
+* group permutation invariance: relabelling groups only relabels outputs;
+* interest-measure identities (Eqs. 12-13) on arbitrary valid count
+  vectors: purity ratio stays in range and hits 1 exactly on pure
+  spaces, the Surprising Measure factorises as PR x Diff, and the
+  support difference is symmetric under group reversal.
 """
 
 from __future__ import annotations
@@ -18,7 +22,16 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro import (
+    Attribute,
+    CategoricalItem,
+    ContrastPattern,
+    ContrastSetMiner,
+    Dataset,
+    Itemset,
+    MinerConfig,
+    Schema,
+)
 
 
 @st.composite
@@ -151,3 +164,68 @@ def test_pure_noise_finds_nothing_strong(dataset):
     for pattern in result.patterns:
         # chance contrasts on ~100-200 shuffled rows stay weak
         assert pattern.support_difference < 0.6
+
+
+# ---------------------------------------------------------------------------
+# Interest-measure identities on arbitrary valid count vectors
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def count_patterns(draw):
+    """An arbitrary valid two-group ContrastPattern (counts <= sizes)."""
+    size_a = draw(st.integers(1, 500))
+    size_b = draw(st.integers(1, 500))
+    count_a = draw(st.integers(0, size_a))
+    count_b = draw(st.integers(0, size_b))
+    itemset = Itemset([CategoricalItem("c", "v")])
+    return ContrastPattern(
+        itemset=itemset,
+        counts=(count_a, count_b),
+        group_sizes=(size_a, size_b),
+        group_labels=("G0", "G1"),
+    )
+
+
+@settings(deadline=None)
+@given(pattern=count_patterns())
+def test_purity_ratio_bounded(pattern):
+    """PR is non-negative and (for supports in [0, 1]) never exceeds 1 —
+    comfortably inside the measure's [0, inf) contract."""
+    assert 0.0 <= pattern.purity_ratio <= 1.0
+
+
+@settings(deadline=None)
+@given(pattern=count_patterns())
+def test_purity_ratio_one_iff_pure_space(pattern):
+    """PR = 1 exactly when the covered region is pure: the min-support
+    group contributes no rows while the other one does (Eq. 12)."""
+    supports = sorted(pattern.supports)
+    is_pure = supports[0] == 0.0 and supports[-1] > 0.0
+    assert (pattern.purity_ratio == 1.0) == is_pure
+
+
+@settings(deadline=None)
+@given(pattern=count_patterns())
+def test_surprising_factorises(pattern):
+    """Surprising Measure = PR x Diff, exactly (Eq. 13)."""
+    assert pattern.surprising_measure == (
+        pattern.purity_ratio * pattern.support_difference
+    )
+    assert pattern.surprising_measure <= pattern.support_difference
+
+
+@settings(deadline=None)
+@given(pattern=count_patterns())
+def test_support_difference_symmetric_under_group_swap(pattern):
+    """Reversing the group order changes nothing about |Diff| — the
+    measure contrasts groups, it does not privilege one."""
+    swapped = ContrastPattern(
+        itemset=pattern.itemset,
+        counts=pattern.counts[::-1],
+        group_sizes=pattern.group_sizes[::-1],
+        group_labels=pattern.group_labels[::-1],
+    )
+    assert swapped.support_difference == pattern.support_difference
+    assert swapped.purity_ratio == pattern.purity_ratio
+    assert swapped.surprising_measure == pattern.surprising_measure

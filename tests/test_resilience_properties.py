@@ -1,0 +1,356 @@
+"""Fault-tolerance invariants of the parallel scheduler.
+
+The contract under test (see DESIGN.md section 9): the resilience layer
+never changes *what* is mined, only *how* failures are survived.
+
+* Deterministic fault drills — a worker crash, a hang past the task
+  timeout, a corrupted result, a poison-pill task — all complete at
+  ``n_jobs=2`` with patterns byte-identical to the golden serial output,
+  and the survived events show up in ``MiningResult.summary()``.
+* Checkpoint/resume — a depth-3 Adult run killed between levels and
+  resumed from its checkpoint reproduces patterns *and* prune accounting
+  exactly.
+* A hypothesis property runs random (dataset, fault plan) pairs and
+  compares against the fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Attribute,
+    ContrastSetMiner,
+    Dataset,
+    MinerConfig,
+    ResiliencePolicy,
+    Schema,
+)
+from repro.core.serialize import patterns_to_dicts
+from repro.dataset import synthetic, uci
+from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_patterns.json"
+
+CONFIG = MinerConfig(max_tree_depth=2)
+# Fault drills that exercise the timeout path need a tight budget so the
+# suite stays fast: the injected hang (1s) dwarfs any real task here.
+TIMEOUT_CONFIG = MinerConfig(
+    max_tree_depth=2,
+    resilience=ResiliencePolicy(task_timeout_s=0.2, backoff=0.01),
+)
+
+
+@pytest.fixture(scope="module")
+def golden_sim2():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)["simulated_dataset_2"]
+
+
+@pytest.fixture(scope="module")
+def sim2():
+    return synthetic.simulated_dataset_2()
+
+
+class TestFaultDrills:
+    """Injected faults at n_jobs=2 never change the mined patterns."""
+
+    def test_worker_crash_is_survived(self, sim2, golden_sim2):
+        result = ContrastSetMiner(CONFIG).mine(
+            sim2, n_jobs=2, fault_plan=FaultPlan.kill_nth(0)
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        summary = result.summary()
+        assert summary.n_worker_crashes >= 1
+        assert summary.n_task_retries >= 1
+        assert summary.n_tasks_failed == 0
+        assert result.stats.pool_restarts >= 1
+
+    def test_hang_times_out_and_retries(self, sim2, golden_sim2):
+        result = ContrastSetMiner(TIMEOUT_CONFIG).mine(
+            sim2,
+            n_jobs=2,
+            fault_plan=FaultPlan.hang_nth(0, hang_s=1.0),
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        summary = result.summary()
+        assert summary.n_task_timeouts >= 1
+        assert summary.n_task_retries >= 1
+        assert summary.n_tasks_failed == 0
+
+    def test_corrupt_result_is_rejected_and_retried(
+        self, sim2, golden_sim2
+    ):
+        result = ContrastSetMiner(CONFIG).mine(
+            sim2, n_jobs=2, fault_plan=FaultPlan.corrupt_nth(0)
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        assert result.stats.corrupt_results == 1
+        assert result.stats.tasks_retried >= 1
+        assert result.stats.tasks_failed == 0
+
+    def test_poison_pill_falls_back_to_serial(self, sim2, golden_sim2):
+        """A task failing every parallel attempt is re-run in the driver."""
+        result = ContrastSetMiner(CONFIG).mine(
+            sim2, n_jobs=2, fault_plan=FaultPlan.poison_nth(0)
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        summary = result.summary()
+        assert summary.n_serial_fallbacks == 1
+        assert summary.n_tasks_failed == 0
+        # initial dispatch + max_retries re-dispatches all errored
+        assert (
+            result.stats.task_errors
+            == CONFIG.resilience.max_retries + 1
+        )
+
+    def test_transient_error_recovers_without_fallback(
+        self, sim2, golden_sim2
+    ):
+        """A task that fails once succeeds on its retry — no fallback."""
+        result = ContrastSetMiner(CONFIG).mine(
+            sim2, n_jobs=2, fault_plan=FaultPlan.error_nth(0, times=1)
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        assert result.stats.task_errors == 1
+        assert result.stats.tasks_retried == 1
+        assert result.stats.serial_fallbacks == 0
+
+    def test_combined_faults_in_one_run(self, sim2, golden_sim2):
+        plan = FaultPlan.corrupt_nth(0).merged_with(
+            FaultPlan.error_nth(1)
+        )
+        result = ContrastSetMiner(CONFIG).mine(
+            sim2, n_jobs=2, fault_plan=plan
+        )
+        assert patterns_to_dicts(result.patterns) == golden_sim2
+        assert result.stats.corrupt_results == 1
+        assert result.stats.task_errors == 1
+        assert result.stats.tasks_failed == 0
+
+
+class TestCheckpointResume:
+    """Resuming from a level-boundary checkpoint reproduces the
+    uninterrupted run exactly — patterns and prune accounting."""
+
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return uci.adult(scale=0.15)
+
+    @pytest.fixture(scope="class")
+    def adult_config(self):
+        return MinerConfig(max_tree_depth=3)
+
+    @pytest.fixture(scope="class")
+    def uninterrupted(self, adult, adult_config, tmp_path_factory):
+        """A depth-3 run that checkpoints after every level."""
+        checkpoint_dir = tmp_path_factory.mktemp("adult-checkpoints")
+        result = ContrastSetMiner(adult_config).mine(
+            adult, n_jobs=2, checkpoint_dir=checkpoint_dir
+        )
+        return result, checkpoint_dir
+
+    def test_checkpoints_written_per_level(self, uninterrupted):
+        result, checkpoint_dir = uninterrupted
+        files = sorted(
+            os.path.basename(p)
+            for p in glob.glob(str(checkpoint_dir / "checkpoint-*.pkl"))
+        )
+        assert files == [
+            "checkpoint-level-01.pkl",
+            "checkpoint-level-02.pkl",
+            "checkpoint-level-03.pkl",
+        ]
+        assert result.summary().n_checkpoints == 3
+
+    @pytest.mark.parametrize("killed_after_level", [1, 2])
+    def test_resume_reproduces_run_exactly(
+        self, adult, adult_config, uninterrupted, killed_after_level
+    ):
+        """Simulate a run killed between levels: resume from the last
+        checkpoint it managed to write and compare everything."""
+        full, checkpoint_dir = uninterrupted
+        checkpoint = (
+            checkpoint_dir
+            / f"checkpoint-level-{killed_after_level:02d}.pkl"
+        )
+        resumed = ContrastSetMiner(adult_config).resume(
+            checkpoint, dataset=adult, n_jobs=2
+        )
+        assert patterns_to_dicts(resumed.patterns) == patterns_to_dicts(
+            full.patterns
+        )
+        assert resumed.stats.prune_reasons == full.stats.prune_reasons
+        assert (
+            resumed.stats.prune_rule_checks
+            == full.stats.prune_rule_checks
+        )
+        assert (
+            resumed.stats.prune_rule_hits == full.stats.prune_rule_hits
+        )
+        assert (
+            resumed.stats.partitions_evaluated
+            == full.stats.partitions_evaluated
+        )
+        assert (
+            resumed.summary().resumed_from_level == killed_after_level
+        )
+
+    def test_resume_from_directory_takes_deepest(
+        self, adult, adult_config, uninterrupted
+    ):
+        full, checkpoint_dir = uninterrupted
+        resumed = ContrastSetMiner(adult_config).resume(
+            checkpoint_dir, dataset=adult
+        )
+        assert patterns_to_dicts(resumed.patterns) == patterns_to_dicts(
+            full.patterns
+        )
+        assert resumed.summary().resumed_from_level == 3
+
+    def test_resume_under_faults_still_exact(
+        self, adult, adult_config, uninterrupted
+    ):
+        """Fault injection during the resumed half changes nothing."""
+        full, checkpoint_dir = uninterrupted
+        state_file = checkpoint_dir / "checkpoint-level-01.pkl"
+        from repro.resilience import load_checkpoint
+        from repro.parallel.scheduler import parallel_search
+
+        state = load_checkpoint(state_file)
+        topk, stats, _ = parallel_search(
+            state.dataset,
+            adult_config,
+            state.attributes,
+            2,
+            resume_from=state,
+            fault_plan=FaultPlan.corrupt_nth(0),
+        )
+        assert patterns_to_dicts(topk.patterns()) == patterns_to_dicts(
+            full.patterns
+        )
+        assert stats.corrupt_results == 1
+
+    def test_serial_checkpointing_matches_parallel(
+        self, sim2_checkpoint_runs
+    ):
+        """n_jobs=1 with a checkpoint_dir routes through a one-worker
+        pool and still produces the serial patterns."""
+        serial, checkpointed = sim2_checkpoint_runs
+        assert patterns_to_dicts(
+            checkpointed.patterns
+        ) == patterns_to_dicts(serial.patterns)
+
+    @pytest.fixture(scope="class")
+    def sim2_checkpoint_runs(self, tmp_path_factory):
+        dataset = synthetic.simulated_dataset_2()
+        serial = ContrastSetMiner(CONFIG).mine(dataset)
+        checkpoint_dir = tmp_path_factory.mktemp("sim2-checkpoints")
+        checkpointed = ContrastSetMiner(CONFIG).mine(
+            dataset, n_jobs=1, checkpoint_dir=checkpoint_dir
+        )
+        return serial, checkpointed
+
+
+# ---------------------------------------------------------------------------
+# Property: any fault plan, any dataset — same patterns as fault-free serial
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def fault_datasets(draw):
+    """Small random mixed dataset (kept tiny: each example spawns a
+    process pool)."""
+    n = draw(st.integers(60, 120))
+    seed = draw(st.integers(0, 2**31 - 1))
+    strength = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    group = rng.integers(0, 2, n)
+    x = rng.uniform(0, 1, n) + strength * group
+    cat = rng.integers(0, 2, n)
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.categorical("c", ["u", "v"]),
+        ]
+    )
+    return Dataset(schema, {"x": x, "c": cat}, group, ["G0", "G1"])
+
+
+@st.composite
+def fault_plans(draw):
+    """Random plan over the first few task sequence numbers.  KILL is
+    excluded here — pool rebuilds cost ~1s each and the dedicated drill
+    above covers that path deterministically."""
+    n_faults = draw(st.integers(1, 3))
+    plan = FaultPlan()
+    for _ in range(n_faults):
+        seq = draw(st.integers(0, 4))
+        kind = draw(
+            st.sampled_from(
+                [FaultKind.ERROR, FaultKind.CORRUPT]
+            )
+        )
+        times = draw(st.sampled_from([1, 2]))
+        plan = plan.merged_with(
+            FaultPlan({seq: FaultSpec(kind, times=times)})
+        )
+    return plan
+
+
+@pytest.mark.slow
+@settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset=fault_datasets(), plan=fault_plans())
+def test_any_fault_plan_yields_serial_patterns(dataset, plan):
+    """Whatever deterministic faults are injected, the mined patterns are
+    byte-identical to a fault-free serial run — and every plan completes
+    (the serial fallback guarantees it)."""
+    serial = ContrastSetMiner(CONFIG).mine(dataset)
+    faulted = ContrastSetMiner(CONFIG).mine(
+        dataset, n_jobs=2, fault_plan=plan
+    )
+    assert patterns_to_dicts(faulted.patterns) == patterns_to_dicts(
+        serial.patterns
+    )
+    assert faulted.stats.tasks_failed == 0
+
+
+@pytest.mark.slow
+@settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset=fault_datasets(), level=st.integers(1, 2))
+def test_resume_equals_uninterrupted_run(dataset, level):
+    """Property: resuming from any level's checkpoint reproduces the
+    uninterrupted run (patterns and prune accounting)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_dir = Path(tmp) / "ckpt"
+        full = ContrastSetMiner(CONFIG).mine(
+            dataset, n_jobs=2, checkpoint_dir=checkpoint_dir
+        )
+        checkpoint = (
+            checkpoint_dir / f"checkpoint-level-{level:02d}.pkl"
+        )
+        if not checkpoint.exists():  # search exhausted before this level
+            return
+        resumed = ContrastSetMiner(CONFIG).resume(
+            checkpoint, dataset=dataset, n_jobs=2
+        )
+    assert patterns_to_dicts(resumed.patterns) == patterns_to_dicts(
+        full.patterns
+    )
+    assert resumed.stats.prune_reasons == full.stats.prune_reasons

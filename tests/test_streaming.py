@@ -194,3 +194,74 @@ class TestStreamingMiner:
     def test_validation(self):
         with pytest.raises(ValueError):
             self._miner(refresh_every=0)
+        with pytest.raises(ValueError):
+            self._miner(n_jobs=0)
+
+
+class TestStreamingDegradation:
+    """A parallel refresh that fails outright degrades to serial mining
+    instead of killing the monitoring loop."""
+
+    def test_parallel_failure_degrades_to_serial(self, monkeypatch):
+        rng = np.random.default_rng(11)
+        miner = StreamingContrastMiner(
+            SCHEMA,
+            GROUPS,
+            config=MinerConfig(k=10, max_tree_depth=1),
+            window_size=2000,
+            refresh_every=500,
+            min_rows=300,
+            n_jobs=2,
+        )
+
+        from repro.core.miner import ContrastSetMiner
+
+        real_mine = ContrastSetMiner.mine
+
+        def flaky_mine(self, dataset, *args, n_jobs=1, **kwargs):
+            if n_jobs > 1:
+                raise OSError("simulated pool-creation failure")
+            return real_mine(self, dataset, *args, n_jobs=n_jobs, **kwargs)
+
+        monkeypatch.setattr(ContrastSetMiner, "mine", flaky_mine)
+        update = miner.update(*_chunk(rng, 600, boundary=0.5))
+        assert update.refreshed
+        assert update.degraded
+        assert update.patterns  # the serial re-mine still delivered
+        assert miner.fallback_refreshes == 1
+
+    def test_serial_refresh_errors_still_propagate(self, monkeypatch):
+        """With n_jobs=1 there is nothing to degrade to: errors surface."""
+        rng = np.random.default_rng(12)
+        miner = StreamingContrastMiner(
+            SCHEMA,
+            GROUPS,
+            config=MinerConfig(k=10, max_tree_depth=1),
+            window_size=2000,
+            refresh_every=500,
+            min_rows=300,
+        )
+        from repro.core.miner import ContrastSetMiner
+
+        def broken_mine(self, dataset, *args, **kwargs):
+            raise OSError("simulated failure")
+
+        monkeypatch.setattr(ContrastSetMiner, "mine", broken_mine)
+        with pytest.raises(OSError, match="simulated failure"):
+            miner.update(*_chunk(rng, 600, boundary=0.5))
+
+    def test_healthy_parallel_refresh_not_degraded(self):
+        rng = np.random.default_rng(13)
+        miner = StreamingContrastMiner(
+            SCHEMA,
+            GROUPS,
+            config=MinerConfig(k=10, max_tree_depth=1),
+            window_size=2000,
+            refresh_every=500,
+            min_rows=300,
+            n_jobs=2,
+        )
+        update = miner.update(*_chunk(rng, 600, boundary=0.5))
+        assert update.refreshed
+        assert not update.degraded
+        assert miner.fallback_refreshes == 0
