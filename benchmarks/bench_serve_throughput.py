@@ -1,0 +1,181 @@
+"""Serving throughput: /match and /patterns latency + req/s on Adult.
+
+Measures the online layer end to end — real HTTP over loopback against a
+:class:`~repro.serve.PatternServer` (ThreadingHTTPServer, keep-alive
+connections), the way a monitoring dashboard would hit it:
+
+* ``POST /match`` point lookups for a rotating set of Adult records
+  (these are answered from the in-memory index, no cache involved);
+* ``GET /runs/<id>/patterns`` declarative queries with a warm LRU cache
+  (every request after the first per shape is a cache hit).
+
+Reported per workload: requests/second and p50/p99 latency.  The store →
+server path is exercised for real (the run is persisted and re-loaded,
+not handed over in memory).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+Run under pytest with the other benches to refresh the committed artifact.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+from pathlib import Path
+from time import perf_counter
+
+from repro import ContrastSetMiner, MinerConfig
+from repro.dataset import uci
+from repro.serve import PatternServer, PatternStore, ServeConfig
+from repro.serve.index import row_from_dataset
+
+N_CLIENT_THREADS = 4
+MATCH_REQUESTS = 4000
+QUERY_REQUESTS = 4000
+QUERY_SHAPES = [
+    "",
+    "limit=5",
+    "min_diff=0.1&limit=10",
+    "sort=purity_ratio&limit=5",
+    "min_pr=0.3&sort=support_difference",
+]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _hammer(host, port, requests, n_requests):
+    """Issue ``n_requests`` over keep-alive connections; return latencies."""
+    latencies: list[list[float]] = [[] for _ in range(N_CLIENT_THREADS)]
+    per_thread = n_requests // N_CLIENT_THREADS
+    errors: list = []
+
+    def client(slot: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for i in range(per_thread):
+                method, path, body = requests[(slot + i) % len(requests)]
+                started = perf_counter()
+                conn.request(method, path, body=body)
+                response = conn.getresponse()
+                response.read()
+                latencies[slot].append(perf_counter() - started)
+                if response.status >= 500:
+                    errors.append(response.status)
+                    return
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(N_CLIENT_THREADS)
+    ]
+    started = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    assert not errors, f"server returned 5xx: {errors}"
+    flat = [x for per in latencies for x in per]
+    return flat, elapsed
+
+
+def _workload_line(name, latencies, elapsed):
+    n = len(latencies)
+    return (
+        f"{name:<10} {n:6d} requests  {n / elapsed:9.0f} req/s  "
+        f"p50 {_percentile(latencies, 0.50) * 1e3:7.3f} ms  "
+        f"p99 {_percentile(latencies, 0.99) * 1e3:7.3f} ms"
+    )
+
+
+def run_bench() -> tuple[str, dict[str, float]]:
+    dataset = uci.adult()
+    result = ContrastSetMiner(MinerConfig(max_tree_depth=2)).mine(dataset)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PatternStore(Path(tmp) / "store")
+        run_id = store.put(result, tags=("bench",))
+        server = PatternServer(store, ServeConfig(port=0, cache_size=256))
+        server.publish_run(run_id)
+        host, port = server.start()
+        try:
+            match_requests = [
+                (
+                    "POST",
+                    "/match",
+                    json.dumps({"row": row_from_dataset(dataset, i)}),
+                )
+                for i in range(0, dataset.n_rows, max(1, dataset.n_rows // 64))
+            ]
+            query_requests = [
+                ("GET", f"/runs/{run_id}/patterns?{shape}".rstrip("?"), None)
+                for shape in QUERY_SHAPES
+            ]
+            # warm-up: touch every distinct request once (fills the LRU)
+            _hammer(host, port, match_requests, len(match_requests))
+            _hammer(host, port, query_requests, len(query_requests))
+
+            match_lat, match_s = _hammer(
+                host, port, match_requests, MATCH_REQUESTS
+            )
+            query_lat, query_s = _hammer(
+                host, port, query_requests, QUERY_REQUESTS
+            )
+
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/metrics")
+            metrics = json.loads(conn.getresponse().read())
+            conn.close()
+        finally:
+            server.stop()
+
+    lines = [
+        "Serving throughput on Adult "
+        f"({dataset.n_rows} rows, {len(result.patterns)} patterns, "
+        f"run {run_id})",
+        f"{N_CLIENT_THREADS} keep-alive client threads, loopback HTTP",
+        "",
+        _workload_line("match", match_lat, match_s),
+        _workload_line("query", query_lat, query_s),
+        "",
+        f"query cache: {metrics['query_cache']['hits']} hits / "
+        f"{metrics['query_cache']['misses']} misses",
+        f"server-side mean: match "
+        f"{metrics['endpoints']['match']['mean_ms']:.3f} ms, patterns "
+        f"{metrics['endpoints']['patterns']['mean_ms']:.3f} ms",
+    ]
+    stats = {
+        "match_rps": len(match_lat) / match_s,
+        "query_rps": len(query_lat) / query_s,
+    }
+    return "\n".join(lines), stats
+
+
+def test_serve_throughput(report):
+    text, stats = run_bench()
+    report("bench_serve_throughput", text)
+    # CI floor far below the committed-artifact figure (>= 1k req/s on a
+    # warm workstation): shared runners are slow, but an order-of-magnitude
+    # collapse still fails the job.
+    assert stats["match_rps"] >= 300, stats
+    assert stats["query_rps"] >= 300, stats
+
+
+def main() -> None:
+    text, stats = run_bench()
+    print(text)
+    out = Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "bench_serve_throughput.txt").write_text(text + "\n")
+    print(f"\nwrote {out / 'bench_serve_throughput.txt'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,15 @@ from .core.sdad import sdad_cs
 from .dataset.schema import Attribute, AttributeKind, Schema
 from .dataset.table import Dataset
 from .resilience import CheckpointError, ResiliencePolicy
+from .serve import (
+    PatternServer,
+    PatternStore,
+    Query,
+    ServeConfig,
+    StoreError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MinerConfig",
@@ -47,5 +54,10 @@ __all__ = [
     "Dataset",
     "CheckpointError",
     "ResiliencePolicy",
+    "PatternStore",
+    "PatternServer",
+    "Query",
+    "ServeConfig",
+    "StoreError",
     "__version__",
 ]

@@ -1,14 +1,18 @@
 """Command-line interface.
 
-Four subcommands cover the operational loop a downstream user needs:
+Seven subcommands cover the operational loop a downstream user needs:
 
 * ``repro info data.csv --group outcome`` — describe a dataset;
 * ``repro mine data.csv --group outcome`` — mine and print contrasts;
 * ``repro compare data.csv --group outcome`` — run the Table 4 protocol;
-* ``repro generate adult out.csv`` — materialise a built-in dataset.
+* ``repro generate adult out.csv`` — materialise a built-in dataset;
+* ``repro store {put,ls,gc}`` — manage a durable pattern store;
+* ``repro query STORE`` — query/match against a stored run;
+* ``repro serve STORE`` — run the HTTP pattern server.
 
 All commands read/write plain CSV and print plain text, so the tool
-drops into shell pipelines.
+drops into shell pipelines.  Every failure path prints to stderr and
+exits non-zero (2 for usage/data errors), never a bare traceback.
 """
 
 from __future__ import annotations
@@ -205,6 +209,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=["sdad_np", "mvd", "entropy", "cortana"],
         choices=sorted(ALGORITHMS),
         help="algorithms to run (first is the WMW reference)",
+    )
+
+    def add_query_filters(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--min-diff", type=float,
+                       help="minimum support difference")
+        p.add_argument("--min-pr", type=float, help="minimum purity ratio")
+        p.add_argument("--min-surprising", type=float,
+                       help="minimum Surprising Measure")
+        p.add_argument("--max-p", type=float, dest="max_p_value",
+                       help="maximum significance p-value")
+        p.add_argument("--max-level", type=int,
+                       help="maximum pattern size (attributes)")
+        p.add_argument("--pattern-attributes", nargs="+", metavar="ATTR",
+                       help="only patterns using all of these attributes")
+        p.add_argument("--dominant", metavar="GROUP",
+                       help="only patterns dominated by this group")
+        p.add_argument(
+            "--sort",
+            default="interest",
+            choices=(
+                "interest", "support_difference", "purity_ratio",
+                "surprising", "p_value", "level",
+            ),
+            help="measure to sort by (default interest)",
+        )
+        p.add_argument("--asc", action="store_true",
+                       help="sort ascending instead of descending")
+        p.add_argument("--limit", type=int, help="print at most this many")
+
+    store_p = sub.add_parser(
+        "store", help="manage a durable pattern store"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+
+    store_put = store_sub.add_parser(
+        "put", help="mine a CSV and persist the run into a store"
+    )
+    add_io(store_put)
+    add_miner_options(store_put)
+    store_put.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory"
+    )
+    store_put.add_argument(
+        "--tags", nargs="*", default=[], help="tags recorded with the run"
+    )
+    store_put.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the mining run",
+    )
+
+    store_ls = store_sub.add_parser("ls", help="list a store's runs")
+    store_ls.add_argument("store", metavar="DIR", help="store directory")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="delete run files the manifest no longer references"
+    )
+    store_gc.add_argument("store", metavar="DIR", help="store directory")
+
+    query = sub.add_parser(
+        "query", help="query patterns of a stored run"
+    )
+    query.add_argument("store", metavar="DIR", help="store directory")
+    query.add_argument(
+        "--run",
+        default="latest",
+        help="run id to query (default: the latest run)",
+    )
+    add_query_filters(query)
+    query.add_argument(
+        "--row",
+        nargs="+",
+        metavar="ATTR=VALUE",
+        help=(
+            "point lookup instead of a query: print the patterns "
+            "covering this record"
+        ),
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit results as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a pattern store over HTTP"
+    )
+    serve.add_argument("store", metavar="DIR", help="store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--run",
+        default="latest",
+        help="run id to activate (default: the latest run)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="query responses kept in the LRU cache (default 256)",
     )
 
     generate = sub.add_parser(
@@ -423,17 +525,173 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _query_from_args(args):
+    from .serve.query import Query
+
+    return Query(
+        attributes=tuple(args.pattern_attributes or ()),
+        group=args.dominant,
+        min_diff=args.min_diff,
+        min_pr=args.min_pr,
+        min_surprising=args.min_surprising,
+        max_p_value=args.max_p_value,
+        max_level=args.max_level,
+        sort_by=args.sort,
+        descending=not args.asc,
+        limit=args.limit,
+    )
+
+
+def _open_run(store_dir: str, run_ref: str):
+    from .serve.store import PatternStore, StoreError
+
+    store = PatternStore(store_dir, create=False)
+    run_id = store.latest() if run_ref == "latest" else run_ref
+    if run_id is None:
+        raise StoreError(f"store {store_dir} holds no runs yet")
+    return store, store.get(run_id)
+
+
+def _cmd_store(args) -> int:
+    from .serve.store import PatternStore
+
+    if args.store_command == "put":
+        dataset = _load(args)
+        store = PatternStore(args.store)
+        miner = ContrastSetMiner(_config(args))
+        result = miner.mine(
+            dataset,
+            n_jobs=args.jobs,
+            attributes=args.attributes,
+            store=store,
+            store_tags=args.tags,
+        )
+        print(
+            f"stored run {result.run_id}: {len(result)} patterns from "
+            f"{dataset.n_rows} rows"
+        )
+        return 0
+    if args.store_command == "ls":
+        store = PatternStore(args.store, create=False)
+        runs = store.list_runs()
+        if not runs:
+            print("(store is empty)")
+            return 0
+        for info in runs:
+            tags = f" [{', '.join(info.tags)}]" if info.tags else ""
+            print(
+                f"{info.run_id}  {info.created}  "
+                f"{info.n_patterns:5d} patterns  "
+                f"{info.n_rows:7d} rows  "
+                f"groups: {', '.join(info.group_labels)}{tags}"
+            )
+        return 0
+    if args.store_command == "gc":
+        store = PatternStore(args.store, create=False)
+        removed = store.gc()
+        print(f"removed {len(removed)} unreferenced entries")
+        for name in removed:
+            print(f"  {name}")
+        return 0
+    raise ValueError(f"unknown store command {args.store_command!r}")
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from .serve.index import PatternIndex
+    from .serve.query import apply_query, encode_entry
+
+    _, run = _open_run(args.store, args.run)
+    index = PatternIndex(run.patterns, run.interests)
+
+    if args.row:
+        row = {}
+        for part in args.row:
+            name, sep, raw = part.partition("=")
+            if not sep or not name:
+                raise ValueError(
+                    f"--row entries must look like ATTR=VALUE, got {part!r}"
+                )
+            try:
+                row[name] = float(raw)
+            except ValueError:
+                row[name] = raw
+        entries = index.match(row)
+        title = f"Patterns covering the record ({run.run_id})"
+    else:
+        entries = apply_query(index, _query_from_args(args))
+        title = f"Query results ({run.run_id})"
+
+    if args.as_json:
+        print(_json.dumps([encode_entry(e) for e in entries], indent=2))
+        return 0
+    print(pattern_table([e.pattern for e in entries], title=title))
+    print(f"\n{len(entries)} of {len(run.patterns)} patterns selected")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import PatternServer, ServeConfig
+    from .serve.store import PatternStore, StoreError
+
+    store = PatternStore(args.store, create=False)
+    server = PatternServer(
+        store,
+        ServeConfig(
+            host=args.host, port=args.port, cache_size=args.cache_size
+        ),
+    )
+    run_id = store.latest() if args.run == "latest" else args.run
+    if run_id is None:
+        raise StoreError(f"store {args.store} holds no runs yet")
+    server.publish_run(run_id)
+    print(
+        f"serving store {args.store} (active run {run_id}) "
+        f"on http://{args.host}:{args.port} — Ctrl-C to stop"
+    )
+    server.serve_forever()
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "mine": _cmd_mine,
     "compare": _cmd_compare,
     "generate": _cmd_generate,
+    "store": _cmd_store,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse and run; every failure exits non-zero with a stderr line.
+
+    Anticipated errors (missing files, malformed CSVs, store/checkpoint
+    problems, bad values) exit 2 with a one-line message; only a genuine
+    bug escapes as a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from .core.serialize import SerializationError
+    from .dataset.table import DatasetError
+    from .resilience import CheckpointError
+    from .serve.store import StoreError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        return 130
+    except (
+        DatasetError,
+        StoreError,
+        CheckpointError,
+        SerializationError,
+        OSError,
+        ValueError,
+    ) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,10 +7,12 @@ miner; every space or candidate whose supports are actually counted bumps
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["MiningStats", "Stopwatch"]
+__all__ = ["MiningStats", "Stopwatch", "EndpointStats", "ServeMetrics"]
 
 
 @dataclass
@@ -129,3 +131,75 @@ class Stopwatch:
 
     def __exit__(self, *exc_info) -> None:
         self._stats.elapsed_seconds += time.perf_counter() - self._start
+
+
+class EndpointStats:
+    """Request/latency/error counters for one served endpoint.
+
+    Latencies go into a bounded reservoir (the most recent observations),
+    which is enough for the p50/p99 the serving layer reports without
+    unbounded memory on a long-lived server.  Thread-safe: the serving
+    layer observes from many handler threads at once.
+    """
+
+    __slots__ = ("requests", "errors", "total_seconds", "_latencies", "_lock")
+
+    def __init__(self, reservoir: int = 4096) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+            self.total_seconds += seconds
+            self._latencies.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        with self._lock:
+            sample = sorted(self._latencies)
+        if not sample:
+            return 0.0
+        rank = max(0, min(len(sample) - 1, int(round(q / 100.0 * (len(sample) - 1)))))
+        return sample[rank]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            requests = self.requests
+            errors = self.errors
+            total = self.total_seconds
+        return {
+            "requests": requests,
+            "errors": errors,
+            "mean_ms": (total / requests * 1000.0) if requests else 0.0,
+            "p50_ms": self.percentile(50.0) * 1000.0,
+            "p99_ms": self.percentile(99.0) * 1000.0,
+        }
+
+
+class ServeMetrics:
+    """Per-endpoint :class:`EndpointStats`, created on first observation."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, EndpointStats] = {}
+        self._lock = threading.Lock()
+
+    def endpoint(self, name: str) -> EndpointStats:
+        with self._lock:
+            stats = self._endpoints.get(name)
+            if stats is None:
+                stats = self._endpoints[name] = EndpointStats()
+            return stats
+
+    def observe(self, name: str, seconds: float, error: bool = False) -> None:
+        self.endpoint(name).observe(seconds, error)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            names = list(self._endpoints)
+        return {name: self._endpoints[name].snapshot() for name in names}

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # annotation-only imports (resume/fault-plan plumbing)
     import os
 
     from ..resilience.inject import FaultPlan
+    from ..serve.store import PatternStore
 
 from ..dataset.table import Dataset
 from .config import MinerConfig
@@ -84,6 +85,9 @@ class MiningResult:
     config: MinerConfig
     dataset: Dataset
     n_workers: int = 1
+    run_id: str | None = None
+    """Id the run was stored under when ``mine(..., store=)`` published
+    it to a :class:`~repro.serve.PatternStore`; ``None`` otherwise."""
 
     def top(self, n: int | None = None) -> list[ContrastPattern]:
         """The best ``n`` patterns by the configured interest measure."""
@@ -158,6 +162,8 @@ class ContrastSetMiner:
         *,
         checkpoint_dir: "str | os.PathLike | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        store: "PatternStore | None" = None,
+        store_tags: Sequence[str] = (),
     ) -> MiningResult:
         """Mine contrast patterns between groups of a dataset.
 
@@ -188,6 +194,14 @@ class ContrastSetMiner:
             (:class:`repro.resilience.FaultPlan`) — a test hook that
             crashes, hangs, poisons, or corrupts chosen worker tasks to
             exercise the retry/fallback machinery.
+        store:
+            Optional :class:`~repro.serve.PatternStore`: publish the
+            finished run durably before returning.  The assigned run id
+            lands in ``MiningResult.run_id`` so a pipeline can hand it
+            straight to a :class:`~repro.serve.PatternServer`.
+        store_tags:
+            Free-form tags recorded with the stored run (only meaningful
+            together with ``store``).
         """
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -213,7 +227,7 @@ class ContrastSetMiner:
             with Stopwatch(engine.stats):
                 topk = engine.run()
             stats, n_workers = engine.stats, 1
-        return MiningResult(
+        result = MiningResult(
             patterns=topk.patterns(),
             interests=topk.interests(),
             stats=stats,
@@ -221,6 +235,9 @@ class ContrastSetMiner:
             dataset=dataset,
             n_workers=n_workers,
         )
+        if store is not None:
+            result.run_id = store.put(result, tags=store_tags)
+        return result
 
     def resume(
         self,

@@ -8,6 +8,13 @@ provides a stable dict schema plus round-trip loaders::
     json.dumps(payload)
     ...
     restored = pattern_from_dict(payload)
+
+Durable artifacts (the pattern store, exported result files) wrap the
+per-pattern dicts in a *versioned envelope*: :func:`serialization_header`
+stamps the payload with the schema version this build writes plus the
+library version that wrote it, and :func:`check_header` refuses to load a
+payload written under a different schema version with a clear error
+instead of an obscure ``KeyError`` deep in the loaders.
 """
 
 from __future__ import annotations
@@ -19,6 +26,10 @@ from .contrast import ContrastPattern
 from .items import CategoricalItem, Interval, Itemset, NumericItem
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "serialization_header",
+    "check_header",
     "item_to_dict",
     "item_from_dict",
     "itemset_to_dict",
@@ -27,7 +38,64 @@ __all__ = [
     "pattern_from_dict",
     "patterns_to_dicts",
     "patterns_from_dicts",
+    "patterns_to_payload",
+    "patterns_from_payload",
 ]
+
+SCHEMA_VERSION = 1
+"""Version of the pattern dict schema this build reads and writes.
+Bump on any change to the dict layout that older loaders cannot read."""
+
+_FORMAT = "repro-patterns"
+
+
+class SerializationError(ValueError):
+    """A serialized payload cannot be loaded by this build."""
+
+
+def _library_version() -> str:
+    # Imported lazily: repro/__init__ defines __version__ after its own
+    # imports, so a module-level import here could observe a half-built
+    # package during interpreter start-up.
+    from .. import __version__
+
+    return __version__
+
+
+def serialization_header() -> dict[str, Any]:
+    """Envelope fields identifying the writer of a durable payload."""
+    return {
+        "format": _FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "library_version": _library_version(),
+    }
+
+
+def check_header(payload: Mapping[str, Any], what: str = "payload") -> None:
+    """Validate a payload's envelope; raise :class:`SerializationError`.
+
+    The schema version must match exactly.  The library version is
+    informational only (patch releases keep the schema stable) but is
+    echoed in the error message so a stale artifact names its writer.
+    """
+    if not isinstance(payload, Mapping):
+        raise SerializationError(
+            f"{what} is not a mapping (got {type(payload).__name__})"
+        )
+    fmt = payload.get("format")
+    if fmt != _FORMAT:
+        raise SerializationError(
+            f"{what} has no repro serialization header "
+            f"(format={fmt!r}, expected {_FORMAT!r})"
+        )
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        writer = payload.get("library_version", "unknown")
+        raise SerializationError(
+            f"{what} uses pattern schema version {version!r} "
+            f"(written by repro {writer}); this build "
+            f"(repro {_library_version()}) reads version {SCHEMA_VERSION}"
+        )
 
 
 def item_to_dict(item) -> dict[str, Any]:
@@ -124,3 +192,41 @@ def patterns_from_dicts(
     payloads: Sequence[Mapping[str, Any]],
 ) -> list[ContrastPattern]:
     return [pattern_from_dict(p) for p in payloads]
+
+
+def patterns_to_payload(
+    patterns: Sequence[ContrastPattern],
+    interests: Mapping[Itemset, float] | None = None,
+) -> dict[str, Any]:
+    """Patterns (optionally with interest values) in a versioned envelope."""
+    payload = serialization_header()
+    records = []
+    for pattern in patterns:
+        record = pattern_to_dict(pattern)
+        if interests is not None:
+            record["interest"] = float(interests[pattern.itemset])
+        records.append(record)
+    payload["patterns"] = records
+    return payload
+
+
+def patterns_from_payload(
+    payload: Mapping[str, Any], what: str = "payload"
+) -> tuple[list[ContrastPattern], dict[Itemset, float]]:
+    """Load a versioned envelope; returns ``(patterns, interests)``.
+
+    ``interests`` maps each itemset to its stored interest value and is
+    empty when the payload carried none.
+    """
+    check_header(payload, what)
+    records = payload.get("patterns")
+    if not isinstance(records, Sequence) or isinstance(records, (str, bytes)):
+        raise SerializationError(f"{what} has no pattern list")
+    patterns: list[ContrastPattern] = []
+    interests: dict[Itemset, float] = {}
+    for record in records:
+        pattern = pattern_from_dict(record)
+        patterns.append(pattern)
+        if "interest" in record:
+            interests[pattern.itemset] = float(record["interest"])
+    return patterns, interests

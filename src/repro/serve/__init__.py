@@ -1,0 +1,58 @@
+"""``repro.serve`` — durable pattern store + online query/serving layer.
+
+The offline side of the system (search, counting, parallel scheduling)
+produces a :class:`~repro.core.miner.MiningResult`; this package is the
+inference side that keeps it alive:
+
+* :class:`PatternStore` — append-only, versioned on-disk store of runs
+  (atomic writes, content-digest fingerprints, corruption detection);
+* :class:`PatternIndex` / :class:`Query` — in-memory indexes and the
+  declarative query engine, including the per-record point lookup
+  :meth:`PatternIndex.match`;
+* :class:`PatternServer` — a threaded, stdlib-only REST front with an
+  LRU query cache, per-endpoint metrics, and downtime-free hot swap of
+  the active run.
+
+Quickstart::
+
+    from repro.serve import PatternStore, PatternServer, ServeConfig
+
+    store = PatternStore("patterns/")
+    run_id = store.put(miner.mine(dataset), tags=("nightly",))
+
+    server = PatternServer(store, ServeConfig(port=8765))
+    server.publish_run(run_id)
+    server.serve_forever()
+"""
+
+from .index import IndexedPattern, MatchError, PatternIndex, row_from_dataset
+from .query import Query, QueryError, apply_query, encode_entry
+from .server import HTTPError, PatternServer, ServeConfig
+from .store import (
+    CorruptRunError,
+    PatternStore,
+    RunInfo,
+    StoreError,
+    StoredRun,
+    UnknownRunError,
+)
+
+__all__ = [
+    "PatternStore",
+    "StoredRun",
+    "RunInfo",
+    "StoreError",
+    "UnknownRunError",
+    "CorruptRunError",
+    "PatternIndex",
+    "IndexedPattern",
+    "MatchError",
+    "row_from_dataset",
+    "Query",
+    "QueryError",
+    "apply_query",
+    "encode_entry",
+    "PatternServer",
+    "ServeConfig",
+    "HTTPError",
+]

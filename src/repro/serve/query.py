@@ -1,0 +1,224 @@
+"""Declarative queries over a loaded run.
+
+:class:`Query` is a small, validated value object describing a pattern
+selection: attribute/group filters, measure thresholds, a sort order and
+a limit.  :func:`apply_query` is the *single* evaluator — the HTTP
+server, the CLI and in-process callers all go through it, which is what
+makes server responses byte-identical to filtering a
+:class:`~repro.core.miner.MiningResult` directly (the parity the golden
+tests pin down).
+
+:func:`encode_entry` fixes the JSON wire shape of one selected pattern;
+:func:`match_payload` does the same for the point-lookup call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..core.serialize import pattern_to_dict
+from .index import SORT_KEYS, IndexedPattern, PatternIndex
+
+__all__ = [
+    "QueryError",
+    "Query",
+    "apply_query",
+    "encode_entry",
+    "match_payload",
+]
+
+
+class QueryError(ValueError):
+    """A query is malformed (unknown field, bad value, unknown sort key)."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One pattern selection.  All filters are conjunctive.
+
+    Attributes
+    ----------
+    attributes:
+        Keep only patterns whose itemset uses *every* listed attribute.
+    group:
+        Keep only patterns dominated by this group label.
+    min_diff / min_pr / min_surprising:
+        Lower bounds on support difference, purity ratio, and the
+        Surprising Measure (strict thresholds are the paper's ``>``
+        convention, but bounds here are inclusive: ``value >= bound``).
+    max_p_value:
+        Upper bound (inclusive) on the significance p-value.
+    max_level:
+        Keep only patterns of at most this many attributes.
+    sort_by / descending:
+        Measure to order by (one of :data:`~repro.serve.index.SORT_KEYS`)
+        and the direction; ties keep the run's own top-k order.
+    limit:
+        Truncate the sorted selection to this many patterns.
+    """
+
+    attributes: tuple[str, ...] = ()
+    group: str | None = None
+    min_diff: float | None = None
+    min_pr: float | None = None
+    min_surprising: float | None = None
+    max_p_value: float | None = None
+    max_level: int | None = None
+    sort_by: str = "interest"
+    descending: bool = True
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        if self.sort_by not in SORT_KEYS:
+            raise QueryError(
+                f"unknown sort key {self.sort_by!r}; "
+                f"expected one of {', '.join(SORT_KEYS)}"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("limit must be >= 0")
+        if self.max_level is not None and self.max_level < 1:
+            raise QueryError("max_level must be >= 1")
+
+    # -- wire formats ---------------------------------------------------
+
+    _FLOAT_PARAMS = ("min_diff", "min_pr", "min_surprising", "max_p_value")
+    _INT_PARAMS = ("max_level", "limit")
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, str]) -> "Query":
+        """Build a query from HTTP query-string parameters.
+
+        Every anomaly — an unknown parameter, an unparsable number, a
+        bad sort key or order — raises :class:`QueryError` with a
+        message naming the offending parameter, so the server can turn
+        it straight into a 400.
+        """
+        kwargs: dict[str, Any] = {}
+        for name, raw in params.items():
+            if name == "attributes":
+                kwargs["attributes"] = tuple(
+                    part for part in raw.split(",") if part
+                )
+            elif name == "group":
+                kwargs["group"] = raw
+            elif name in cls._FLOAT_PARAMS:
+                try:
+                    kwargs[name] = float(raw)
+                except ValueError as exc:
+                    raise QueryError(
+                        f"parameter {name}={raw!r} is not a number"
+                    ) from exc
+            elif name in cls._INT_PARAMS:
+                try:
+                    kwargs[name] = int(raw)
+                except ValueError as exc:
+                    raise QueryError(
+                        f"parameter {name}={raw!r} is not an integer"
+                    ) from exc
+            elif name == "sort":
+                kwargs["sort_by"] = raw
+            elif name == "order":
+                if raw not in ("asc", "desc"):
+                    raise QueryError(
+                        f"parameter order={raw!r}; expected asc or desc"
+                    )
+                kwargs["descending"] = raw == "desc"
+            else:
+                raise QueryError(f"unknown query parameter {name!r}")
+        return cls(**kwargs)
+
+    def to_params(self) -> dict[str, str]:
+        """The canonical parameter form (inverse of :meth:`from_params`)."""
+        params: dict[str, str] = {}
+        if self.attributes:
+            params["attributes"] = ",".join(self.attributes)
+        if self.group is not None:
+            params["group"] = self.group
+        for name in self._FLOAT_PARAMS:
+            value = getattr(self, name)
+            if value is not None:
+                params[name] = repr(float(value))
+        for name in self._INT_PARAMS:
+            value = getattr(self, name)
+            if value is not None:
+                params[name] = str(value)
+        if self.sort_by != "interest":
+            params["sort"] = self.sort_by
+        if not self.descending:
+            params["order"] = "asc"
+        return params
+
+    def cache_key(self) -> str:
+        """Canonical string identity (the server's LRU cache key)."""
+        return "&".join(
+            f"{name}={value}" for name, value in sorted(self.to_params().items())
+        )
+
+    # -- evaluation -----------------------------------------------------
+
+    def accepts(self, entry: IndexedPattern) -> bool:
+        pattern = entry.pattern
+        if self.attributes:
+            present = set(pattern.itemset.attributes)
+            if not present.issuperset(self.attributes):
+                return False
+        if self.group is not None and pattern.dominant_group != self.group:
+            return False
+        if (
+            self.min_diff is not None
+            and pattern.support_difference < self.min_diff
+        ):
+            return False
+        if self.min_pr is not None and pattern.purity_ratio < self.min_pr:
+            return False
+        if (
+            self.min_surprising is not None
+            and pattern.surprising_measure < self.min_surprising
+        ):
+            return False
+        if (
+            self.max_p_value is not None
+            and pattern.significance_p_value > self.max_p_value
+        ):
+            return False
+        if self.max_level is not None and pattern.level > self.max_level:
+            return False
+        return True
+
+
+def apply_query(index: PatternIndex, query: Query) -> list[IndexedPattern]:
+    """Evaluate a query against an index: filter, sort, limit."""
+    order = index.order_by(query.sort_by, query.descending)
+    selected = [
+        index.entries[rank]
+        for rank in order
+        if query.accepts(index.entries[rank])
+    ]
+    if query.limit is not None:
+        selected = selected[: query.limit]
+    return selected
+
+
+def encode_entry(entry: IndexedPattern) -> dict[str, Any]:
+    """JSON wire shape of one selected pattern."""
+    return {
+        "rank": entry.rank,
+        "interest": entry.interest,
+        "pattern": pattern_to_dict(entry.pattern),
+        "description": str(entry.pattern.itemset),
+    }
+
+
+def match_payload(entries: Sequence[IndexedPattern]) -> list[dict[str, Any]]:
+    """JSON wire shape of a point-lookup result (run order preserved)."""
+    return [encode_entry(entry) for entry in entries]
+
+
+def index_for_result(result) -> PatternIndex:
+    """Index a :class:`~repro.core.miner.MiningResult` (or StoredRun)."""
+    return PatternIndex(result.patterns, result.interests)
+
+
+__all__.append("index_for_result")

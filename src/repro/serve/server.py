@@ -1,0 +1,597 @@
+"""Stdlib-only HTTP serving of mined patterns.
+
+:class:`PatternServer` is the online half of the system: it loads runs
+from a :class:`~repro.serve.store.PatternStore` (or takes them straight
+from a miner), keeps one *active* run behind an atomically-swappable
+reference, and answers REST calls::
+
+    GET  /healthz                       liveness + active run
+    GET  /metrics                       per-endpoint counters, cache stats
+    GET  /runs                          visible runs (store + published)
+    GET  /runs/<id>                     one run's metadata + summary
+    GET  /runs/<id>/patterns?...        declarative query (see Query)
+    POST /match        {"row": {...}}   patterns covering a record
+
+Guarantees the tests pin down:
+
+* **No client-induced 500s.**  Malformed queries and bodies map to 400,
+  unknown runs to 404, corrupt runs to 410 (after being quarantined),
+  wrong methods to 405 — the catch-all 500 path exists only for genuine
+  server bugs and increments an error counter the smoke job asserts is
+  zero.
+* **Hot swap without downtime or torn reads.**  ``publish_*`` swaps one
+  tuple reference; every request snapshots that reference once, so a
+  response is always computed against exactly one run version (the
+  ``run``/``epoch`` fields in the response name it) even while a
+  publisher is swapping mid-flight.
+* **Corruption never kills the process.**  A run whose files fail
+  integrity checks at load time is quarantined via the store and
+  reported to the client; the server keeps serving everything else.
+
+Queries are answered from an LRU cache keyed by (run, epoch, canonical
+query string); the epoch in the key means a swap implicitly invalidates
+without locking out readers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from urllib.parse import parse_qsl, urlsplit
+
+from time import perf_counter
+
+from ..core.instrumentation import ServeMetrics
+from .index import MatchError, PatternIndex
+from .query import Query, QueryError, apply_query, encode_entry, match_payload
+from .store import CorruptRunError, PatternStore, StoreError, UnknownRunError
+
+if TYPE_CHECKING:
+    from ..core.miner import MiningResult
+
+__all__ = ["ServeConfig", "PatternServer", "HTTPError"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving layer (mining has its own ``MinerConfig``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    cache_size: int = 256
+    """Cached query responses (0 disables the cache)."""
+    max_body_bytes: int = 1 << 20
+    """Largest accepted request body (413 beyond it)."""
+    default_limit: int | None = None
+    """Applied to /patterns queries that specify no limit of their own."""
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+
+
+class HTTPError(Exception):
+    """An error response with a status the handler turns into JSON."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class _ActiveRun:
+    """The swappable unit: one run version the server answers from."""
+
+    run_id: str
+    epoch: int
+    index: PatternIndex
+
+
+class _LRUCache:
+    """Tiny thread-safe LRU for rendered response bodies."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> bytes | None:
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def put(self, key: tuple, body: bytes) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+class PatternServer:
+    """Concurrent REST front over a pattern store and published runs."""
+
+    def __init__(
+        self,
+        store: PatternStore | None = None,
+        config: ServeConfig | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self._cache = _LRUCache(self.config.cache_size)
+        self._indexes: dict[str, PatternIndex] = {}
+        self._published: dict[str, dict[str, Any]] = {}
+        self._load_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._active: _ActiveRun | None = None
+        self._epoch = 0
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- run loading and publication -----------------------------------
+
+    def _index_of(self, run_id: str) -> PatternIndex:
+        """The (immutable) index of a run, loading from the store once.
+
+        Corrupt store runs are quarantined on first touch and surface as
+        410; ids neither published nor in the store surface as 404.
+        """
+        index = self._indexes.get(run_id)
+        if index is not None:
+            return index
+        if self.store is None:
+            raise HTTPError(404, f"unknown run {run_id!r}")
+        with self._load_lock:
+            index = self._indexes.get(run_id)
+            if index is not None:
+                return index
+            try:
+                stored = self.store.get(run_id)
+            except UnknownRunError as exc:
+                raise HTTPError(404, str(exc)) from exc
+            except CorruptRunError as exc:
+                try:
+                    self.store.quarantine(run_id)
+                except StoreError:
+                    pass  # already gone; the 410 still stands
+                raise HTTPError(
+                    410, f"run {run_id!r} failed integrity checks and "
+                    f"was quarantined: {exc}"
+                ) from exc
+            except StoreError as exc:
+                raise HTTPError(410, str(exc)) from exc
+            index = PatternIndex(stored.patterns, stored.interests)
+            self._indexes[run_id] = index
+            return index
+
+    def _swap_active(self, run_id: str, index: PatternIndex) -> int:
+        with self._publish_lock:
+            self._epoch += 1
+            epoch = self._epoch
+            # Single reference assignment: requests snapshot self._active
+            # once, so they see either the old or the new run, never a mix.
+            self._active = _ActiveRun(run_id, epoch, index)
+            return epoch
+
+    def publish_run(self, run_id: str) -> int:
+        """Make a store run the active one; returns the new epoch."""
+        index = self._index_of(run_id)
+        return self._swap_active(run_id, index)
+
+    def publish_patterns(
+        self,
+        patterns: Sequence,
+        interests: Mapping | None = None,
+        run_id: str | None = None,
+        tags: Sequence[str] = (),
+    ) -> int:
+        """Publish an in-memory pattern list (no store round trip).
+
+        This is the hot-swap path a refreshing
+        :class:`~repro.streaming.StreamingContrastMiner` uses: build the
+        index off-thread, then swap it in atomically.
+        """
+        index = PatternIndex(patterns, interests)
+        with self._publish_lock:
+            if run_id is None:
+                run_id = f"inline-{self._epoch + 1:06d}"
+        self._indexes[run_id] = index
+        self._published[run_id] = {
+            "run_id": run_id,
+            "n_patterns": len(index),
+            "tags": list(tags),
+            "source": "published",
+        }
+        return self._swap_active(run_id, index)
+
+    def publish_result(
+        self, result: "MiningResult", run_id: str | None = None
+    ) -> int:
+        """Publish a :class:`MiningResult` directly (no store round trip)."""
+        return self.publish_patterns(
+            result.patterns, result.interests, run_id=run_id
+        )
+
+    @property
+    def active_run(self) -> str | None:
+        active = self._active
+        return active.run_id if active else None
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # -- request handling ----------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, bytes, str]:
+        """Dispatch one request; returns (status, body, endpoint label).
+
+        Transport-independent on purpose: the HTTP handler, the tests
+        and the bench's in-process mode all call this.
+        """
+        split = urlsplit(path)
+        parts = [p for p in split.path.split("/") if p]
+        endpoint = "unknown"
+        started = perf_counter()
+        try:
+            handler, endpoint, args = self._route(method, parts)
+            params = self._parse_params(split.query)
+            status, payload = handler(params, body, *args)
+            # Cache-served endpoints hand back pre-rendered bytes so a
+            # hit skips the JSON encoder entirely.
+            response = (
+                payload
+                if isinstance(payload, bytes)
+                else self._render(payload)
+            )
+        except HTTPError as exc:
+            status = exc.status
+            response = self._render({"error": exc.message, "status": status})
+        except Exception as exc:  # genuine server bug: counted, not raised
+            status = 500
+            response = self._render(
+                {"error": f"internal error: {exc}", "status": 500}
+            )
+        self.metrics.observe(
+            endpoint, perf_counter() - started, error=status >= 400
+        )
+        return status, response, endpoint
+
+    def _route(self, method: str, parts: list[str]):
+        if parts == ["healthz"]:
+            self._require(method, "GET", "/healthz")
+            return self._do_healthz, "healthz", ()
+        if parts == ["metrics"]:
+            self._require(method, "GET", "/metrics")
+            return self._do_metrics, "metrics", ()
+        if parts == ["runs"]:
+            self._require(method, "GET", "/runs")
+            return self._do_runs, "runs", ()
+        if len(parts) == 2 and parts[0] == "runs":
+            self._require(method, "GET", f"/runs/{parts[1]}")
+            return self._do_run_meta, "run_meta", (parts[1],)
+        if len(parts) == 3 and parts[0] == "runs" and parts[2] == "patterns":
+            self._require(method, "GET", f"/runs/{parts[1]}/patterns")
+            return self._do_patterns, "patterns", (parts[1],)
+        if parts == ["match"]:
+            self._require(method, "POST", "/match")
+            return self._do_match, "match", ()
+        raise HTTPError(404, f"no such endpoint: /{'/'.join(parts)}")
+
+    @staticmethod
+    def _require(method: str, expected: str, what: str) -> None:
+        if method != expected:
+            raise HTTPError(405, f"{what} only supports {expected}")
+
+    @staticmethod
+    def _parse_params(query: str) -> dict[str, str]:
+        pairs = parse_qsl(query, keep_blank_values=True)
+        params: dict[str, str] = {}
+        for name, value in pairs:
+            if name in params:
+                raise HTTPError(
+                    400, f"duplicate query parameter {name!r}"
+                )
+            params[name] = value
+        return params
+
+    @staticmethod
+    def _render(payload: Any) -> bytes:
+        return (
+            json.dumps(payload, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+
+    @staticmethod
+    def _no_params(params: Mapping[str, str]) -> None:
+        if params:
+            raise HTTPError(
+                400,
+                f"unexpected query parameters: {', '.join(sorted(params))}",
+            )
+
+    # -- endpoints ------------------------------------------------------
+
+    def _do_healthz(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        active = self._active
+        return 200, {
+            "status": "ok",
+            "active_run": active.run_id if active else None,
+            "epoch": active.epoch if active else 0,
+        }
+
+    def _do_metrics(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        return 200, {
+            "endpoints": self.metrics.snapshot(),
+            "query_cache": self._cache.stats(),
+            "epoch": self._epoch,
+            "loaded_runs": sorted(self._indexes),
+        }
+
+    def _do_runs(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        runs: list[dict[str, Any]] = []
+        if self.store is not None:
+            try:
+                runs.extend(
+                    {**info.to_dict(), "source": "store"}
+                    for info in self.store.list_runs()
+                )
+            except StoreError as exc:
+                raise HTTPError(410, f"store unavailable: {exc}") from exc
+        runs.extend(self._published[run_id] for run_id in sorted(self._published))
+        return 200, {"runs": runs, "active_run": self.active_run}
+
+    def _do_run_meta(self, params, body, run_id: str) -> tuple[int, dict]:
+        self._no_params(params)
+        if run_id in self._published:
+            meta = dict(self._published[run_id])
+            meta["active"] = run_id == self.active_run
+            return 200, meta
+        if self.store is None:
+            raise HTTPError(404, f"unknown run {run_id!r}")
+        try:
+            stored = self.store.get(run_id)
+        except UnknownRunError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        except StoreError as exc:
+            raise HTTPError(410, str(exc)) from exc
+        from dataclasses import asdict
+
+        return 200, {
+            "run_id": stored.run_id,
+            "created": stored.created,
+            "tags": list(stored.tags),
+            "n_patterns": len(stored.patterns),
+            "library_version": stored.library_version,
+            "fingerprint": stored.fingerprint,
+            "summary": asdict(stored.summary),
+            "active": run_id == self.active_run,
+        }
+
+    def _resolve_run(self, run_id: str) -> tuple[str, int, PatternIndex]:
+        """(run id, epoch, index) for a request — one consistent snapshot."""
+        if run_id == "active":
+            active = self._active
+            if active is None:
+                raise HTTPError(
+                    404, "no active run; publish one or name a run id"
+                )
+            return active.run_id, active.epoch, active.index
+        return run_id, self._epoch, self._index_of(run_id)
+
+    def _do_patterns(self, params, body, run_id: str) -> tuple[int, dict]:
+        try:
+            query = Query.from_params(params)
+        except QueryError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        if query.limit is None and self.config.default_limit is not None:
+            from dataclasses import replace
+
+            query = replace(query, limit=self.config.default_limit)
+        resolved_id, epoch, index = self._resolve_run(run_id)
+        cache_key = ("patterns", resolved_id, epoch, query.cache_key())
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return 200, cached
+        selected = apply_query(index, query)
+        payload = {
+            "run": resolved_id,
+            "epoch": epoch,
+            "query": query.to_params(),
+            "count": len(selected),
+            "patterns": [encode_entry(entry) for entry in selected],
+        }
+        rendered = self._render(payload)
+        self._cache.put(cache_key, rendered)
+        return 200, rendered
+
+    def _do_match(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        request = self._decode_body(body)
+        row = request.get("row")
+        if not isinstance(row, dict):
+            raise HTTPError(400, 'body must carry a "row" object')
+        unknown = set(request) - {"row", "run"}
+        if unknown:
+            raise HTTPError(
+                400, f"unknown body fields: {', '.join(sorted(unknown))}"
+            )
+        for name, value in row.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (str, int, float)
+            ):
+                raise HTTPError(
+                    400,
+                    f"row value for {name!r} must be a string or number",
+                )
+        run_ref = request.get("run", "active")
+        if not isinstance(run_ref, str):
+            raise HTTPError(400, '"run" must be a run id string')
+        resolved_id, epoch, index = self._resolve_run(run_ref)
+        # Per-epoch indexes are immutable, so a row's match response is a
+        # pure function of (run, epoch, row) and can be cached like a
+        # query; repr() in the key keeps 1, 1.0 and "1" distinct.
+        cache_key = (
+            "match",
+            resolved_id,
+            epoch,
+            tuple(sorted((k, repr(v)) for k, v in row.items())),
+        )
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return 200, cached
+        try:
+            matches = index.match(row)
+        except MatchError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        rendered = self._render(
+            {
+                "run": resolved_id,
+                "epoch": epoch,
+                "count": len(matches),
+                "matches": match_payload(matches),
+            }
+        )
+        self._cache.put(cache_key, rendered)
+        return 200, rendered
+
+    def _decode_body(self, body: bytes | None) -> dict[str, Any]:
+        if not body:
+            raise HTTPError(400, "request body required")
+        if len(body) > self.config.max_body_bytes:
+            raise HTTPError(413, "request body too large")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        return payload
+
+    # -- transport ------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a background thread; returns (host, port).
+
+        Pass ``port=0`` in :class:`ServeConfig` to let the OS pick a free
+        port (what the tests and the bench do).
+        """
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        app = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Headers and body are flushed as separate segments; without
+            # TCP_NODELAY the second write can stall ~40ms behind Nagle +
+            # delayed ACK, capping keep-alive clients near 25 req/s.
+            disable_nagle_algorithm = True
+
+            def _dispatch(self, method: str) -> None:
+                length = self.headers.get("Content-Length")
+                body = None
+                if length is not None:
+                    try:
+                        n = int(length)
+                    except ValueError:
+                        n = -1
+                    if n < 0 or n > app.config.max_body_bytes:
+                        self._reply(
+                            413,
+                            app._render(
+                                {"error": "request body too large",
+                                 "status": 413}
+                            ),
+                        )
+                        return
+                    body = self.rfile.read(n)
+                status, response, _ = app.handle(method, self.path, body)
+                self._reply(status, response)
+
+            def _reply(self, status: int, response: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(response)))
+                self.end_headers()
+                self.wfile.write(response)
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802
+                self._dispatch("POST")
+
+            def do_PUT(self) -> None:  # noqa: N802
+                self._dispatch("PUT")
+
+            def do_DELETE(self) -> None:  # noqa: N802
+                self._dispatch("DELETE")
+
+            def log_message(self, *args) -> None:  # pragma: no cover
+                pass  # the metrics endpoint replaces stderr chatter
+
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-pattern-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` (the CLI's ``repro serve``)."""
+        host, port = self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "PatternServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

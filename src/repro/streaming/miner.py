@@ -141,6 +141,13 @@ class StreamingContrastMiner:
         still fails — pool creation itself failing, resource exhaustion —
         the window is re-mined serially and the update is flagged
         ``degraded`` rather than killing the stream.
+    publish_to:
+        Optional :class:`~repro.serve.PatternServer` (anything with a
+        ``publish_result`` method).  Each successful refresh is published
+        as the server's new active run — the server's atomic reference
+        swap means the monitoring loop can keep a query/match front end
+        current without ever taking it down.  Publication failures are
+        counted (``failed_publishes``) but never interrupt the stream.
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class StreamingContrastMiner:
         refresh_every: int = 1000,
         min_rows: int = 200,
         n_jobs: int = 1,
+        publish_to=None,
     ) -> None:
         if refresh_every < 1:
             raise ValueError("refresh_every must be positive")
@@ -165,6 +173,11 @@ class StreamingContrastMiner:
         self.fallback_refreshes = 0
         """Refreshes that fell back to serial mining after a parallel
         failure (the stream-level graceful-degradation counter)."""
+        self.publish_to = publish_to
+        self.failed_publishes = 0
+        """Refreshes whose publication to ``publish_to`` raised (the
+        refresh itself still counts; the stream keeps running)."""
+        self._refresh_count = 0
         self._since_refresh = 0
         self._patterns: list[ContrastPattern] = []
         self._ever_refreshed = False
@@ -228,6 +241,15 @@ class StreamingContrastMiner:
                 result = miner.mine(snapshot)
             new_patterns = result.patterns
             prune_counts = dict(result.stats.prune_reasons)
+            self._refresh_count += 1
+            if self.publish_to is not None:
+                try:
+                    self.publish_to.publish_result(
+                        result,
+                        run_id=f"stream-{self._refresh_count:06d}",
+                    )
+                except Exception:
+                    self.failed_publishes += 1
 
         alpha = self.config.alpha
         emerged = [

@@ -229,3 +229,131 @@ class TestGenerate:
         )
         assert code == 0
         assert "Attribute 1" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def store_dir(self, tmp_path, csv_path):
+        store = str(tmp_path / "store")
+        code = main(
+            ["store", "put", csv_path, "--group", "group",
+             "--store", store, "--depth", "1", "--tags", "ci", "smoke"]
+        )
+        assert code == 0
+        return store
+
+    def test_put_reports_run_id(self, tmp_path, csv_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["store", "put", csv_path, "--group", "group",
+             "--store", store, "--depth", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stored run run-" in out
+
+    def test_ls_lists_runs_with_tags(self, store_dir, capsys):
+        assert main(["store", "ls", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "run-" in out
+        assert "[ci, smoke]" in out
+
+    def test_ls_empty_store_message(self, tmp_path, capsys):
+        from repro.serve.store import PatternStore
+
+        empty = tmp_path / "empty"
+        PatternStore(empty)
+        assert main(["store", "ls", str(empty)]) == 0
+        assert "(store is empty)" in capsys.readouterr().out
+
+    def test_gc_reports_removals(self, store_dir, capsys):
+        from pathlib import Path
+
+        orphan = Path(store_dir) / "runs" / ".tmp-dead"
+        orphan.mkdir()
+        assert main(["store", "gc", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 unreferenced entries" in out
+        assert ".tmp-dead" in out
+        assert not orphan.exists()
+
+    def test_query_latest(self, store_dir, capsys):
+        code = main(
+            ["query", store_dir, "--min-diff", "0.1", "--limit", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Query results (run-" in out
+        assert "patterns selected" in out
+
+    def test_query_json_round_trips(self, store_dir, capsys):
+        import json as _json
+
+        assert main(["query", store_dir, "--json", "--limit", "2"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert all("pattern" in entry for entry in payload)
+        assert len(payload) <= 2
+
+    def test_query_row_lookup(self, store_dir, capsys):
+        code = main(
+            ["query", store_dir, "--row", "x=0.1", "color=red",
+             "noise=0.5"]
+        )
+        assert code == 0
+        assert "Patterns covering the record" in capsys.readouterr().out
+
+    def test_serve_parser_accepts_options(self, store_dir):
+        args = build_parser().parse_args(
+            ["serve", store_dir, "--port", "0", "--cache-size", "16"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.cache_size == 16
+
+
+class TestErrorExitCodes:
+    """Every anticipated failure exits 2 with a one-line stderr message."""
+
+    def test_missing_csv(self, capsys):
+        assert main(["info", "/nonexistent/nope.csv",
+                     "--group", "group"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_store(self, capsys):
+        assert main(["store", "ls", "/nonexistent/store"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no pattern store" in err
+
+    def test_query_empty_store(self, tmp_path, capsys):
+        from repro.serve.store import PatternStore
+
+        empty = tmp_path / "empty"
+        PatternStore(empty)
+        assert main(["query", str(empty)]) == 2
+        assert "holds no runs" in capsys.readouterr().err
+
+    def test_query_unknown_run(self, tmp_path, capsys):
+        from repro.serve.store import PatternStore
+
+        empty = tmp_path / "empty"
+        PatternStore(empty)
+        assert main(
+            ["query", str(empty), "--run", "run-000042-cafecafecafe"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_row_syntax(self, tmp_path, csv_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "put", csv_path, "--group", "group",
+             "--store", store, "--depth", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", store, "--row", "justaname"]) == 2
+        assert "ATTR=VALUE" in capsys.readouterr().err
+
+    def test_serve_missing_store(self, capsys):
+        assert main(["serve", "/nonexistent/store"]) == 2
+        assert "error:" in capsys.readouterr().err

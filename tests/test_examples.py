@@ -50,6 +50,12 @@ class TestExamples:
         assert "XOR" in out
         assert "SDAD-CS joint search: 4 contrasts" in out
 
+    def test_serve_adult(self, capsys):
+        out = _run_example("serve_adult", capsys)
+        assert "serving on http://" in out
+        assert "requests served, no 5xx" in out
+        assert "done" in out
+
     def test_clinical_screening(self, capsys):
         out = _run_example("clinical_screening", capsys)
         assert "holdout validation" in out

@@ -145,3 +145,91 @@ class TestCliJson:
             for label, count in zip(pattern.group_labels,
                                      pattern.counts):
                 assert by_label[label] == count
+
+
+class TestVersionedEnvelope:
+    """Durable payloads carry a header; mismatches are rejected clearly."""
+
+    def test_header_names_schema_and_library(self):
+        from repro import __version__
+        from repro.core.serialize import (
+            SCHEMA_VERSION,
+            serialization_header,
+        )
+
+        header = serialization_header()
+        assert header["format"] == "repro-patterns"
+        assert header["schema_version"] == SCHEMA_VERSION
+        assert header["library_version"] == __version__
+
+    def test_payload_round_trip_with_interests(self):
+        from repro.core.serialize import (
+            patterns_from_payload,
+            patterns_to_payload,
+        )
+
+        pattern = _pattern()
+        interests = {pattern.itemset: 0.375}
+        payload = patterns_to_payload([pattern], interests)
+        # survives an actual JSON round trip, header intact
+        payload = json.loads(json.dumps(payload))
+        restored, restored_interests = patterns_from_payload(payload)
+        assert restored == [pattern]
+        assert restored_interests == {pattern.itemset: 0.375}
+
+    def test_payload_round_trip_without_interests(self):
+        from repro.core.serialize import (
+            patterns_from_payload,
+            patterns_to_payload,
+        )
+
+        pattern = _pattern()
+        restored, interests = patterns_from_payload(
+            patterns_to_payload([pattern])
+        )
+        assert restored == [pattern]
+        assert interests == {}
+
+    def test_missing_header_rejected(self):
+        from repro.core.serialize import (
+            SerializationError,
+            patterns_from_payload,
+        )
+
+        with pytest.raises(SerializationError, match="no repro serialization"):
+            patterns_from_payload({"patterns": []})
+
+    def test_schema_mismatch_names_both_versions(self):
+        from repro.core.serialize import (
+            SCHEMA_VERSION,
+            SerializationError,
+            patterns_from_payload,
+            patterns_to_payload,
+        )
+
+        payload = patterns_to_payload([_pattern()])
+        payload["schema_version"] = SCHEMA_VERSION + 41
+        payload["library_version"] = "9.9.9"
+        with pytest.raises(SerializationError) as excinfo:
+            patterns_from_payload(payload, what="export file")
+        message = str(excinfo.value)
+        assert f"version {SCHEMA_VERSION + 41}" in message
+        assert "9.9.9" in message
+        assert "export file" in message
+        assert f"reads version {SCHEMA_VERSION}" in message
+
+    def test_non_mapping_rejected(self):
+        from repro.core.serialize import SerializationError, check_header
+
+        with pytest.raises(SerializationError, match="not a mapping"):
+            check_header([1, 2, 3])
+
+    def test_missing_pattern_list_rejected(self):
+        from repro.core.serialize import (
+            SerializationError,
+            patterns_from_payload,
+            serialization_header,
+        )
+
+        with pytest.raises(SerializationError, match="no pattern list"):
+            patterns_from_payload(serialization_header())

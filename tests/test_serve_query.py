@@ -1,0 +1,266 @@
+"""Query-engine parity: index/query/match vs first-principles filtering.
+
+The acceptance bar for the serving layer: for every query shape, the
+query engine must agree with filtering the in-memory ``MiningResult``
+directly, and ``match(row)`` must agree with brute-force cover checks
+(re-evaluating each pattern's mask on the training data) on a thousand
+random rows — across three datasets of different shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, ContrastSetMiner, Dataset, MinerConfig, Schema
+from repro.dataset.uci import adult
+from repro.serve.index import MatchError, PatternIndex, row_from_dataset
+from repro.serve.query import Query, QueryError, apply_query
+
+
+def _mine(dataset):
+    result = ContrastSetMiner(MinerConfig(max_tree_depth=2)).mine(dataset)
+    assert result.patterns, "parity needs a non-trivial pattern list"
+    return result
+
+
+def _mixed():
+    rng = np.random.default_rng(12345)
+    n = 600
+    group = rng.integers(0, 2, n)
+    x = np.where(
+        group == 0, rng.uniform(0, 0.5, n), rng.uniform(0.5, 1.0, n)
+    )
+    noise = rng.uniform(0, 1, n)
+    color = rng.integers(0, 3, n)
+    schema = Schema.of(
+        [
+            Attribute.continuous("x"),
+            Attribute.continuous("noise"),
+            Attribute.categorical("color", ["red", "green", "blue"]),
+        ]
+    )
+    return Dataset(
+        schema, {"x": x, "noise": noise, "color": color}, group, ["A", "B"]
+    )
+
+
+def _categorical():
+    rng = np.random.default_rng(12345)
+    n = 800
+    group = rng.integers(0, 2, n)
+    tool = np.where(
+        group == 1,
+        rng.choice([0, 1, 2], n, p=[0.7, 0.2, 0.1]),
+        rng.choice([0, 1, 2], n, p=[0.2, 0.4, 0.4]),
+    )
+    shift = rng.integers(0, 2, n)
+    schema = Schema.of(
+        [
+            Attribute.categorical("tool", ["T1", "T2", "T3"]),
+            Attribute.categorical("shift", ["day", "night"]),
+        ]
+    )
+    return Dataset(
+        schema, {"tool": tool, "shift": shift}, group, ["good", "bad"]
+    )
+
+
+_MAKERS = {
+    "mixed": _mixed,
+    "categorical": _categorical,
+    "adult": lambda: adult(scale=0.05),
+}
+_CACHE: dict = {}
+
+
+@pytest.fixture
+def dataset_and_result(request):
+    """(dataset, mined result), mined once per dataset for the module."""
+    if request.param not in _CACHE:
+        dataset = _MAKERS[request.param]()
+        _CACHE[request.param] = (dataset, _mine(dataset))
+    return _CACHE[request.param]
+
+
+DATASETS = ["mixed", "categorical", "adult"]
+
+QUERY_SHAPES = [
+    Query(),
+    Query(limit=0),
+    Query(limit=3),
+    Query(min_diff=0.2),
+    Query(min_pr=0.5),
+    Query(min_surprising=0.1),
+    Query(max_p_value=0.001),
+    Query(max_level=1),
+    Query(sort_by="support_difference"),
+    Query(sort_by="purity_ratio", limit=5),
+    Query(sort_by="surprising", descending=False),
+    Query(sort_by="p_value", descending=False),
+    Query(sort_by="level", descending=False, limit=10),
+    Query(min_diff=0.1, min_pr=0.2, max_p_value=0.05, limit=7),
+]
+
+
+def _measure(pattern, interests, key):
+    if key == "interest":
+        return interests[pattern.itemset]
+    if key == "support_difference":
+        return pattern.support_difference
+    if key == "purity_ratio":
+        return pattern.purity_ratio
+    if key == "surprising":
+        return pattern.surprising_measure
+    if key == "p_value":
+        return pattern.significance_p_value
+    if key == "level":
+        return float(pattern.level)
+    raise AssertionError(key)
+
+
+def _reference_filter(result, query):
+    """Filter the MiningResult directly — independent of the index."""
+    keep = []
+    for pattern in result.patterns:
+        if query.attributes and not set(query.attributes) <= set(
+            pattern.itemset.attributes
+        ):
+            continue
+        if query.group is not None and pattern.dominant_group != query.group:
+            continue
+        if (
+            query.min_diff is not None
+            and pattern.support_difference < query.min_diff
+        ):
+            continue
+        if query.min_pr is not None and pattern.purity_ratio < query.min_pr:
+            continue
+        if (
+            query.min_surprising is not None
+            and pattern.surprising_measure < query.min_surprising
+        ):
+            continue
+        if (
+            query.max_p_value is not None
+            and pattern.significance_p_value > query.max_p_value
+        ):
+            continue
+        if query.max_level is not None and pattern.level > query.max_level:
+            continue
+        keep.append(pattern)
+    rank = {p.itemset: i for i, p in enumerate(result.patterns)}
+    keep.sort(
+        key=lambda p: (
+            -_measure(p, result.interests, query.sort_by)
+            if query.descending
+            else _measure(p, result.interests, query.sort_by),
+            rank[p.itemset],
+        )
+    )
+    if query.limit is not None:
+        keep = keep[: query.limit]
+    return keep
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("dataset_and_result", DATASETS, indirect=True)
+    @pytest.mark.parametrize(
+        "query", QUERY_SHAPES, ids=[q.cache_key() or "all" for q in QUERY_SHAPES]
+    )
+    def test_query_matches_direct_filtering(self, dataset_and_result, query):
+        _, result = dataset_and_result
+        index = PatternIndex(result.patterns, result.interests)
+        got = [entry.pattern for entry in apply_query(index, query)]
+        assert got == _reference_filter(result, query)
+
+    @pytest.mark.parametrize("dataset_and_result", DATASETS, indirect=True)
+    def test_attribute_and_group_filters(self, dataset_and_result):
+        _, result = dataset_and_result
+        index = PatternIndex(result.patterns, result.interests)
+        for attr in index.attributes:
+            query = Query(attributes=(attr,))
+            assert [e.pattern for e in apply_query(index, query)] == (
+                _reference_filter(result, query)
+            )
+        for group in index.groups:
+            query = Query(group=group)
+            assert [e.pattern for e in apply_query(index, query)] == (
+                _reference_filter(result, query)
+            )
+
+
+class TestMatchParity:
+    """match(row) vs brute-force cover masks on 1k random rows."""
+
+    @pytest.mark.parametrize("dataset_and_result", DATASETS, indirect=True)
+    def test_match_agrees_with_cover_masks(self, dataset_and_result):
+        dataset, result = dataset_and_result
+        index = PatternIndex(result.patterns, result.interests)
+        covers = {
+            p.itemset: p.itemset.cover(dataset) for p in result.patterns
+        }
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, dataset.n_rows, size=1000)
+        for i in rows:
+            row = row_from_dataset(dataset, int(i))
+            matched = [e.pattern.itemset for e in index.match(row)]
+            expected = [
+                p.itemset for p in result.patterns if covers[p.itemset][i]
+            ]
+            assert matched == expected
+
+    @pytest.fixture
+    def mixed_index(self):
+        if "mixed" not in _CACHE:
+            dataset = _MAKERS["mixed"]()
+            _CACHE["mixed"] = (dataset, _mine(dataset))
+        _, result = _CACHE["mixed"]
+        return PatternIndex(result.patterns, result.interests)
+
+    def test_missing_attribute_means_no_match(self, mixed_index):
+        # an empty record matches no pattern (coverage can't be shown)
+        assert mixed_index.match({}) == []
+
+    def test_non_numeric_value_raises(self, mixed_index):
+        with pytest.raises(MatchError):
+            mixed_index.match({"x": "not-a-number"})
+
+    def test_row_type_validated(self, mixed_index):
+        with pytest.raises(MatchError):
+            mixed_index.match([1, 2, 3])
+
+
+class TestQueryValidation:
+    def test_unknown_sort_key(self):
+        with pytest.raises(QueryError, match="sort key"):
+            Query(sort_by="bogus")
+
+    def test_negative_limit(self):
+        with pytest.raises(QueryError, match="limit"):
+            Query(limit=-1)
+
+    def test_from_params_round_trip(self):
+        query = Query(
+            attributes=("age", "sex"),
+            min_diff=0.25,
+            sort_by="surprising",
+            descending=False,
+            limit=10,
+        )
+        assert Query.from_params(query.to_params()) == query
+
+    def test_from_params_rejects_unknown(self):
+        with pytest.raises(QueryError, match="unknown query parameter"):
+            Query.from_params({"frobnicate": "1"})
+
+    def test_from_params_rejects_bad_number(self):
+        with pytest.raises(QueryError, match="not a number"):
+            Query.from_params({"min_diff": "lots"})
+
+    def test_from_params_rejects_bad_order(self):
+        with pytest.raises(QueryError, match="asc or desc"):
+            Query.from_params({"order": "sideways"})
+
+    def test_cache_key_canonical(self):
+        a = Query(min_diff=0.5, limit=3)
+        b = Query.from_params({"limit": "3", "min_diff": "0.5"})
+        assert a.cache_key() == b.cache_key()
