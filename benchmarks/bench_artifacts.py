@@ -1,0 +1,64 @@
+"""Committed machine-readable benchmark artifacts.
+
+Human-readable bench reports live in ``benchmarks/out/*.txt`` (see
+``conftest.report``) and are regenerated locally.  Headline numbers that
+the docs and CI refer to are additionally *committed* at the repo root
+as ``BENCH_<name>.json`` so that a clone carries its own baseline:
+
+* one JSON file per bench, written through :func:`write_bench_artifact`;
+* a fixed envelope (``bench``, ``schema_version``, ``environment``,
+  ``results``) with sorted keys and a trailing newline, so regenerating
+  on the same machine produces a clean diff;
+* ``results`` is flat-ish JSON: numbers, strings, and shallow dicts —
+  anything a dashboard or a CI threshold check can consume without
+  importing the package.
+
+Benches call ``write_bench_artifact("columnar", {...})`` from their
+``main()`` so artifacts refresh only on explicit standalone runs, never
+as a pytest side effect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA_VERSION = 1
+
+
+def _environment() -> dict[str, object]:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_bench_artifact(name: str, results: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    if not name.isidentifier():
+        raise ValueError(f"artifact name must be identifier-like: {name!r}")
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "schema_version": SCHEMA_VERSION,
+        "environment": _environment(),
+        "results": results,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_artifact(name: str) -> dict:
+    """Load a committed artifact (raises FileNotFoundError if absent)."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    return json.loads(path.read_text())

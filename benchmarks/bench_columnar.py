@@ -1,0 +1,276 @@
+"""Out-of-core scale proof: pack and mine 10M rows without ever holding
+the dataset in memory.
+
+The chunked layer's contract (DESIGN.md section 11) is that the
+dataset's residency is bounded by the view's column LRU plus the group
+codes — not by row count times column count.  This bench proves it
+with numbers, on a 10-column telemetry-shaped dataset (8 continuous
+metrics, one categorical, planted contrasts):
+
+* stream-generates 10M rows chunk by chunk — the full dataset never
+  exists in memory at any point of the pack;
+* mines the store at depth 2 in a fresh subprocess and records its
+  peak RSS;
+* materializes the same store with ``to_dataset()`` and mines it
+  in-memory in another fresh subprocess, as the baseline;
+* requires the two runs to produce byte-identical patterns (the
+  parity contract at full scale) and the chunked peak to be well
+  below both the dense pipeline's peak and the bytes that merely
+  materializing the dataset would pin.
+
+Results are committed as ``BENCH_columnar.json`` at the repo root (see
+``bench_artifacts.py``).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_columnar.py
+Under pytest the bench runs at reduced scale (2M rows) as a smoke
+check; the committed artifact is refreshed only by standalone runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import resource
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro import Attribute, ChunkedDataset, Dataset, Schema
+
+N_ROWS = 10_000_000
+CHUNK_SIZE = 262_144
+SEED = 20190326
+DEPTH = 2
+
+N_METRICS = 8  # continuous columns: metric_0 .. metric_7
+
+SCHEMA = Schema.of(
+    [Attribute.continuous(f"metric_{i}") for i in range(N_METRICS)]
+    + [
+        Attribute.categorical(
+            "region", ["us-east", "us-west", "eu", "apac"]
+        )
+    ]
+)
+GROUP_LABELS = ["ok", "degraded"]
+
+
+def _chunk(rng: np.random.Generator, n: int) -> Dataset:
+    """One chunk of the synthetic stream.  Contrasts are planted on
+    ``metric_0`` (shifted up for the degraded group) and ``region``
+    (code 2 over-represented there); the other metrics are noise."""
+    group = rng.integers(0, 2, n)
+    columns: dict[str, np.ndarray] = {
+        "metric_0": rng.gamma(2.0, 1.0, n)
+        + np.where(group == 1, 1.5, 0.0)
+    }
+    for i in range(1, N_METRICS):
+        columns[f"metric_{i}"] = rng.uniform(0.0, 100.0, n)
+    columns["region"] = np.where(
+        group == 1,
+        rng.choice(4, n, p=[0.1, 0.2, 0.6, 0.1]),
+        rng.choice(4, n, p=[0.3, 0.3, 0.1, 0.3]),
+    )
+    return Dataset(SCHEMA, columns, group, GROUP_LABELS)
+
+
+def _dense_equivalent_bytes(n_rows: int) -> int:
+    """Memory an in-memory Dataset of the same rows pins: float64
+    continuous columns, int64 categorical codes, int64 group codes."""
+    return n_rows * 8 * (len(SCHEMA.names) + 1)
+
+
+def _pack(store_path: Path, n_rows: int) -> tuple[ChunkedDataset, float]:
+    rng = np.random.default_rng(SEED)
+    store = ChunkedDataset.create(store_path, SCHEMA, GROUP_LABELS)
+    started = perf_counter()
+    remaining = n_rows
+    while remaining:
+        n = min(CHUNK_SIZE, remaining)
+        store.append(_chunk(rng, n), chunk_size=CHUNK_SIZE)
+        remaining -= n
+    return store, perf_counter() - started
+
+
+def _mine_phase(store_path: str, mode: str, n_jobs: int) -> None:
+    """Subprocess body: mine and report peak RSS + a parity digest."""
+    from repro import ContrastSetMiner, MinerConfig
+    from repro.core.serialize import patterns_to_dicts
+
+    store = ChunkedDataset(store_path)
+    data = store.to_dataset() if mode == "dense" else store
+    started = perf_counter()
+    result = ContrastSetMiner(MinerConfig(max_tree_depth=DEPTH)).mine(
+        data, n_jobs=n_jobs
+    )
+    elapsed = perf_counter() - started
+    rendered = json.dumps(patterns_to_dicts(result.patterns),
+                          sort_keys=True)
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    print(
+        json.dumps(
+            {
+                "seconds": round(elapsed, 3),
+                "peak_rss_mb": round(
+                    max(usage.ru_maxrss, children.ru_maxrss) / 1024, 1
+                ),
+                "n_patterns": len(result.patterns),
+                "patterns_sha256": hashlib.sha256(
+                    rendered.encode()
+                ).hexdigest(),
+            }
+        )
+    )
+
+
+def _run_phase(store_path: Path, mode: str, n_jobs: int = 1) -> dict:
+    """Run one mining phase in a fresh interpreter so its peak RSS is
+    attributable to that pipeline alone."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--phase",
+            mode,
+            "--store",
+            str(store_path),
+            "--n-jobs",
+            str(n_jobs),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"{mode} phase failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _dir_bytes(path: Path) -> int:
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+def run_bench(n_rows: int = N_ROWS) -> tuple[str, dict]:
+    tmp = Path(tempfile.mkdtemp(prefix="bench_columnar_"))
+    try:
+        store_path = tmp / "store"
+        store, pack_s = _pack(store_path, n_rows)
+        disk_bytes = _dir_bytes(store_path)
+        pack_peak_mb = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        )
+
+        chunked = _run_phase(store_path, "chunked")
+        parallel = _run_phase(store_path, "chunked", n_jobs=2)
+        dense = _run_phase(store_path, "dense")
+
+        assert chunked["patterns_sha256"] == dense["patterns_sha256"], (
+            "out-of-core mining diverged from in-memory at scale"
+        )
+        assert parallel["patterns_sha256"] == dense["patterns_sha256"]
+        assert chunked["n_patterns"] > 0, "planted contrasts must surface"
+
+        dense_bytes_mb = _dense_equivalent_bytes(n_rows) / 1e6
+        over_dataset = chunked["peak_rss_mb"] / dense_bytes_mb
+        over_pipeline = chunked["peak_rss_mb"] / dense["peak_rss_mb"]
+
+        stats = {
+            "n_rows": n_rows,
+            "n_columns": len(SCHEMA.names),
+            "n_chunks": store.n_chunks,
+            "chunk_size": CHUNK_SIZE,
+            "depth": DEPTH,
+            "pack_seconds": round(pack_s, 3),
+            "pack_rows_per_s": round(n_rows / pack_s),
+            "pack_peak_rss_mb": round(pack_peak_mb, 1),
+            "store_disk_mb": round(disk_bytes / 1e6, 1),
+            "n_patterns": chunked["n_patterns"],
+            "patterns_sha256": chunked["patterns_sha256"],
+            "chunked_mine_seconds": chunked["seconds"],
+            "chunked_parallel2_seconds": parallel["seconds"],
+            "chunked_peak_rss_mb": chunked["peak_rss_mb"],
+            "dense_mine_seconds": dense["seconds"],
+            "dense_peak_rss_mb": dense["peak_rss_mb"],
+            "dense_dataset_mb": round(dense_bytes_mb, 1),
+            "chunked_peak_over_dense_dataset": round(over_dataset, 3),
+            "chunked_peak_over_dense_pipeline": round(over_pipeline, 3),
+        }
+        lines = [
+            f"Out-of-core columnar mining, {n_rows:,} rows x "
+            f"{len(SCHEMA.names)} columns "
+            f"({store.n_chunks} chunks of {CHUNK_SIZE:,})",
+            "",
+            f"pack     {pack_s:8.2f} s  "
+            f"({stats['pack_rows_per_s']:,} rows/s, "
+            f"{stats['store_disk_mb']} MB on disk, "
+            f"peak RSS {stats['pack_peak_rss_mb']} MB)",
+            f"chunked  {chunked['seconds']:8.2f} s serial, "
+            f"{parallel['seconds']:.2f} s n_jobs=2  "
+            f"(depth {DEPTH}, {chunked['n_patterns']} patterns, "
+            f"peak RSS {chunked['peak_rss_mb']} MB)",
+            f"dense    {dense['seconds']:8.2f} s serial  "
+            f"(same patterns, peak RSS {dense['peak_rss_mb']} MB; "
+            f"dataset alone pins {stats['dense_dataset_mb']} MB)",
+            "",
+            f"chunked peak = {over_dataset:.2f}x the dense dataset "
+            f"bytes, {over_pipeline:.2f}x the dense pipeline peak "
+            "(patterns byte-identical)",
+        ]
+        return "\n".join(lines), stats
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_columnar_scale(report):
+    # reduced scale for the bench suite; the full 10M artifact comes
+    # from standalone runs
+    text, stats = run_bench(n_rows=2_000_000)
+    report("bench_columnar", text)
+    assert stats["chunked_peak_over_dense_pipeline"] < 0.9, stats
+
+
+def main() -> None:
+    from bench_artifacts import write_bench_artifact
+
+    text, stats = run_bench()
+    print(text)
+    assert stats["chunked_peak_over_dense_dataset"] < 0.75, (
+        "scale proof failed: peak RSS not well below the dataset's "
+        "in-memory footprint",
+        stats,
+    )
+    assert stats["chunked_peak_over_dense_pipeline"] < 0.75, (
+        "scale proof failed: peak RSS not well below the in-memory "
+        "pipeline's",
+        stats,
+    )
+    out = Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "bench_columnar.txt").write_text(text + "\n")
+    artifact = write_bench_artifact("columnar", stats)
+    print(f"\nwrote {out / 'bench_columnar.txt'}")
+    print(f"wrote {artifact}")
+
+
+if __name__ == "__main__":
+    if "--phase" in sys.argv:
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--phase", choices=["chunked", "dense"])
+        parser.add_argument("--store", required=True)
+        parser.add_argument("--n-jobs", type=int, default=1)
+        args = parser.parse_args()
+        _mine_phase(args.store, args.phase, args.n_jobs)
+    else:
+        main()

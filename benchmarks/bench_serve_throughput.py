@@ -14,7 +14,9 @@ server path is exercised for real (the run is persisted and re-loaded,
 not handed over in memory).
 
 Run standalone:  PYTHONPATH=src python benchmarks/bench_serve_throughput.py
-Run under pytest with the other benches to refresh the committed artifact.
+(standalone runs also refresh the committed ``BENCH_serve.json`` at the
+repo root — see ``bench_artifacts.py``).  Under pytest the bench runs as
+a smoke check with CI-floor assertions only.
 """
 
 from __future__ import annotations
@@ -152,8 +154,17 @@ def run_bench() -> tuple[str, dict[str, float]]:
         f"{metrics['endpoints']['patterns']['mean_ms']:.3f} ms",
     ]
     stats = {
-        "match_rps": len(match_lat) / match_s,
-        "query_rps": len(query_lat) / query_s,
+        "n_rows": dataset.n_rows,
+        "n_patterns": len(result.patterns),
+        "client_threads": N_CLIENT_THREADS,
+        "match_rps": round(len(match_lat) / match_s),
+        "match_p50_ms": round(_percentile(match_lat, 0.50) * 1e3, 3),
+        "match_p99_ms": round(_percentile(match_lat, 0.99) * 1e3, 3),
+        "query_rps": round(len(query_lat) / query_s),
+        "query_p50_ms": round(_percentile(query_lat, 0.50) * 1e3, 3),
+        "query_p99_ms": round(_percentile(query_lat, 0.99) * 1e3, 3),
+        "query_cache_hits": metrics["query_cache"]["hits"],
+        "query_cache_misses": metrics["query_cache"]["misses"],
     }
     return "\n".join(lines), stats
 
@@ -169,12 +180,16 @@ def test_serve_throughput(report):
 
 
 def main() -> None:
+    from bench_artifacts import write_bench_artifact
+
     text, stats = run_bench()
     print(text)
     out = Path(__file__).parent / "out"
     out.mkdir(exist_ok=True)
     (out / "bench_serve_throughput.txt").write_text(text + "\n")
+    artifact = write_bench_artifact("serve", stats)
     print(f"\nwrote {out / 'bench_serve_throughput.txt'}")
+    print(f"wrote {artifact}")
 
 
 if __name__ == "__main__":

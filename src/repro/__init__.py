@@ -21,6 +21,7 @@ from .core.items import CategoricalItem, Interval, Itemset, NumericItem
 from .core.miner import ContrastSetMiner, MiningResult, MiningSummary
 from .core.pipeline import EvaluationContext, PruneRule, PruningPipeline
 from .core.sdad import sdad_cs
+from .dataset.chunked import ChunkedDataset, ChunkedView
 from .dataset.schema import Attribute, AttributeKind, Schema
 from .dataset.table import Dataset
 from .resilience import CheckpointError, ResiliencePolicy
@@ -32,7 +33,7 @@ from .serve import (
     StoreError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MinerConfig",
@@ -52,6 +53,8 @@ __all__ = [
     "AttributeKind",
     "Schema",
     "Dataset",
+    "ChunkedDataset",
+    "ChunkedView",
     "CheckpointError",
     "ResiliencePolicy",
     "PatternStore",

@@ -1,18 +1,22 @@
 """Command-line interface.
 
-Seven subcommands cover the operational loop a downstream user needs:
+Eight subcommands cover the operational loop a downstream user needs:
 
 * ``repro info data.csv --group outcome`` — describe a dataset;
 * ``repro mine data.csv --group outcome`` — mine and print contrasts;
 * ``repro compare data.csv --group outcome`` — run the Table 4 protocol;
 * ``repro generate adult out.csv`` — materialise a built-in dataset;
+* ``repro dataset {pack,append,info}`` — manage chunked on-disk
+  datasets for out-of-core mining;
 * ``repro store {put,ls,gc}`` — manage a durable pattern store;
 * ``repro query STORE`` — query/match against a stored run;
 * ``repro serve STORE`` — run the HTTP pattern server.
 
 All commands read/write plain CSV and print plain text, so the tool
-drops into shell pipelines.  Every failure path prints to stderr and
-exits non-zero (2 for usage/data errors), never a bare traceback.
+drops into shell pipelines.  Commands that take a CSV also accept a
+chunked dataset directory (``repro dataset pack`` output) and then mine
+out of core.  Every failure path prints to stderr and exits non-zero
+(2 for usage/data errors), never a bare traceback.
 """
 
 from __future__ import annotations
@@ -49,10 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
     def add_io(p: argparse.ArgumentParser) -> None:
-        p.add_argument("csv", help="input CSV file")
         p.add_argument(
-            "--group", required=True, help="name of the group column"
+            "csv",
+            help=(
+                "input CSV file, or a chunked dataset directory "
+                "(see 'repro dataset pack')"
+            ),
+        )
+        p.add_argument(
+            "--group",
+            help=(
+                "name of the group column (required for CSV input; a "
+                "chunked dataset directory already knows its group)"
+            ),
         )
         p.add_argument(
             "--groups",
@@ -95,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument(
+            "--cache-size",
+            type=int,
+            default=None,
+            dest="backend_cache_size",
+            metavar="N",
+            help=(
+                "capacity of the counting backend's memo cache "
+                "(bitmap context-coverage LRU, or the per-chunk counts "
+                "LRU when mining a chunked dataset); requires "
+                "--backend bitmap"
+            ),
+        )
+        p.add_argument(
             "--max-retries",
             type=int,
             default=2,
@@ -130,12 +163,6 @@ def build_parser() -> argparse.ArgumentParser:
     mine = sub.add_parser("mine", help="mine contrast patterns")
     add_io(mine)
     add_miner_options(mine)
-    def positive_int(value: str) -> int:
-        n = int(value)
-        if n < 1:
-            raise argparse.ArgumentTypeError("must be >= 1")
-        return n
-
     mine.add_argument(
         "--jobs",
         type=positive_int,
@@ -309,6 +336,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="query responses kept in the LRU cache (default 256)",
     )
 
+    dataset_p = sub.add_parser(
+        "dataset",
+        help="manage chunked on-disk datasets (out-of-core mining)",
+    )
+    ds_sub = dataset_p.add_subparsers(dest="dataset_command", required=True)
+
+    ds_pack = ds_sub.add_parser(
+        "pack", help="pack a CSV into a new chunked dataset directory"
+    )
+    add_io(ds_pack)
+    ds_pack.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="directory to create the chunked dataset in",
+    )
+    ds_pack.add_argument(
+        "--chunk-size", type=positive_int, default=None, metavar="ROWS",
+        help="rows per chunk (default 262144)",
+    )
+
+    ds_append = ds_sub.add_parser(
+        "append",
+        help="append a CSV's rows to an existing chunked dataset",
+    )
+    add_io(ds_append)
+    ds_append.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="existing chunked dataset directory",
+    )
+    ds_append.add_argument(
+        "--chunk-size", type=positive_int, default=None, metavar="ROWS",
+        help="rows per new chunk (default: one chunk for all rows)",
+    )
+
+    ds_info = ds_sub.add_parser(
+        "info", help="describe a chunked dataset directory"
+    )
+    ds_info.add_argument("store", metavar="DIR", help="chunked dataset")
+    ds_info.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every chunk file against the manifest digests",
+    )
+
     generate = sub.add_parser(
         "generate", help="write a built-in dataset to CSV"
     )
@@ -328,9 +398,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load(args) -> "object":
-    dataset = read_csv(
-        args.csv, group_column=args.group, delimiter=args.delimiter
-    )
+    from pathlib import Path
+
+    from .dataset.table import DatasetError
+
+    if Path(args.csv).is_dir():
+        # A chunked dataset directory: mine out of core through the lazy
+        # view (columns materialise on demand; counting is chunk-aware).
+        from .dataset.chunked import ChunkedDataset
+
+        store = ChunkedDataset(args.csv)
+        if args.group and args.group != store.group_name:
+            raise DatasetError(
+                f"chunked dataset {args.csv} groups rows by "
+                f"{store.group_name!r}, not {args.group!r}"
+            )
+        dataset = store.view()
+    else:
+        if not args.group:
+            raise DatasetError("--group is required for CSV input")
+        dataset = read_csv(
+            args.csv, group_column=args.group, delimiter=args.delimiter
+        )
     if args.groups:
         dataset = dataset.select_groups(args.groups)
     return dataset
@@ -346,6 +435,7 @@ def _config(args) -> MinerConfig:
         max_tree_depth=args.depth,
         interest_measure=args.measure,
         counting_backend=args.backend,
+        backend_cache_size=args.backend_cache_size,
         resilience=ResiliencePolicy(
             max_retries=args.max_retries,
             task_timeout_s=args.task_timeout,
@@ -449,7 +539,7 @@ def _cmd_mine(args) -> int:
         f"[{stats.counting_backend} backend, "
         f"{stats.count_calls} count calls"
     )
-    if stats.counting_backend == "bitmap":
+    if stats.cache_hits or stats.cache_misses:
         line += (
             f", cache {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses"
@@ -523,6 +613,93 @@ def _cmd_generate(args) -> int:
     write_csv(dataset, args.out)
     print(f"wrote {dataset.n_rows} rows to {args.out}")
     return 0
+
+
+def _align_groups(dataset, store):
+    """Re-code a dataset's group column onto a store's label order.
+
+    Append sources routinely arrive with labels in a different discovery
+    order (or with only a subset of the groups present); the rows are
+    still appendable as long as every label is one the store knows.
+    """
+    if tuple(dataset.group_labels) == store.group_labels:
+        return dataset
+    import numpy as np
+
+    from .dataset.table import Dataset, DatasetError
+
+    recode = []
+    for label in dataset.group_labels:
+        if label not in store.group_labels:
+            raise DatasetError(
+                f"group {label!r} is not among the store's groups "
+                f"{list(store.group_labels)}"
+            )
+        recode.append(store.group_labels.index(label))
+    table = np.asarray(recode, dtype=np.int64)
+    return Dataset(
+        dataset.schema,
+        {name: dataset.column(name) for name in dataset.schema.names},
+        table[np.asarray(dataset.group_codes)],
+        store.group_labels,
+        store.group_name,
+    )
+
+
+def _cmd_dataset(args) -> int:
+    from .dataset.chunked import DEFAULT_CHUNK_SIZE, ChunkedDataset
+    from .dataset.table import DatasetError
+
+    if args.dataset_command == "info":
+        store = ChunkedDataset(args.store)
+        print(store.describe())
+        if args.verify:
+            store.verify()
+            print(f"verified {store.n_chunks} chunks: all digests match")
+        for meta in store.chunks:
+            print(
+                f"  {meta.chunk_id}  {meta.n_rows:8d} rows  "
+                f"digest {meta.digest[:12]}"
+            )
+        return 0
+
+    if args.dataset_command == "pack":
+        if not args.group:
+            raise DatasetError("--group is required to pack a CSV")
+        dataset = read_csv(
+            args.csv, group_column=args.group, delimiter=args.delimiter
+        )
+        if args.groups:
+            dataset = dataset.select_groups(args.groups)
+        store = ChunkedDataset.pack(
+            args.store,
+            dataset,
+            chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+        print(
+            f"packed {dataset.n_rows} rows into {store.n_chunks} chunks "
+            f"at {args.store}"
+        )
+        return 0
+
+    if args.dataset_command == "append":
+        store = ChunkedDataset(args.store)
+        dataset = read_csv(
+            args.csv,
+            group_column=args.group or store.group_name,
+            delimiter=args.delimiter,
+            schema=store.schema,
+        )
+        if args.groups:
+            dataset = dataset.select_groups(args.groups)
+        dataset = _align_groups(dataset, store)
+        new_ids = store.append(dataset, chunk_size=args.chunk_size)
+        print(
+            f"appended {dataset.n_rows} rows as {len(new_ids)} new "
+            f"chunks ({store.n_rows} rows total)"
+        )
+        return 0
+    raise ValueError(f"unknown dataset command {args.dataset_command!r}")
 
 
 def _query_from_args(args):
@@ -659,6 +836,7 @@ _COMMANDS = {
     "mine": _cmd_mine,
     "compare": _cmd_compare,
     "generate": _cmd_generate,
+    "dataset": _cmd_dataset,
     "store": _cmd_store,
     "query": _cmd_query,
     "serve": _cmd_serve,

@@ -205,6 +205,14 @@ class ContrastSetMiner:
         """
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        from ..dataset.chunked import ChunkedDataset
+
+        if isinstance(dataset, ChunkedDataset):
+            # Mine an out-of-core store through its lazy Dataset facade:
+            # same search, same statistics, chunk-aware counting.  The
+            # view pins the store's current chunk list, so appends made
+            # while this run is in flight do not shift its input.
+            dataset = dataset.view()
         if groups is not None:
             dataset = dataset.select_groups(groups)
         if dataset.n_groups < 2:

@@ -30,6 +30,7 @@ __all__ = [
     "BitmapBackend",
     "BACKENDS",
     "available_backends",
+    "backend_from_config",
     "make_backend",
 ]
 
@@ -54,3 +55,31 @@ def make_backend(name: str, dataset, **kwargs) -> CountingBackend:
             f"available: {', '.join(available_backends())}"
         ) from None
     return cls(dataset, **kwargs)
+
+
+def backend_from_config(config, dataset) -> CountingBackend:
+    """Instantiate the backend a :class:`~repro.core.config.MinerConfig`
+    asks for, honouring ``backend_cache_size`` and dispatching lazy
+    out-of-core datasets to the chunk-aware backend.
+
+    This is the single construction point the search layers use
+    (``SearchEngine``, the parallel worker initialiser, the serial
+    fallback), so every execution path counts through the same backend
+    for the same (config, dataset) pair.
+    """
+    # imported lazily: the chunked layer is optional machinery most
+    # in-memory runs never touch
+    from ..dataset.chunked import ChunkedView
+
+    if isinstance(dataset, ChunkedView):
+        from .chunked import ChunkedBackend
+
+        return ChunkedBackend(
+            dataset,
+            inner=config.counting_backend,
+            cache_size=config.backend_cache_size,
+        )
+    kwargs = {}
+    if config.backend_cache_size is not None:
+        kwargs["cache_size"] = config.backend_cache_size
+    return make_backend(config.counting_backend, dataset, **kwargs)

@@ -1,0 +1,221 @@
+"""Chunk-aware support counting over an out-of-core dataset.
+
+Support counting is embarrassingly additive across row chunks: the
+contingency row of Eq. 1 for an itemset over the full table is the
+element-wise sum of the rows computed per chunk.  Because every
+downstream statistic (chi-square, support difference, PR, the CLT
+bounds) is a function of the merged integer count vector, counting per
+chunk and summing is *exact* — not an approximation — which is what
+makes out-of-core mining byte-identical to in-memory mining.
+
+:class:`ChunkedBackend` wraps a :class:`~repro.dataset.chunked.
+ChunkedView` and counts each itemset chunk by chunk:
+
+* per-chunk count vectors are cached in an LRU keyed by
+  ``(chunk content digest, itemset)`` — the digest key means appending
+  new chunks to the store never invalidates a single cached entry
+  (old chunks are immutable and keep their digests);
+* with the ``bitmap`` inner strategy, each chunk gets a bits-only
+  packed index (per-(attribute, value) bit-vectors plus a group stack,
+  ~``n_rows / 8`` bytes per categorical value) built straight from the
+  chunk's memory-mapped code files — the chunk's column data is never
+  materialised at ``int64`` width for categorical counting;
+* itemsets containing numeric items, and the ``mask`` inner strategy,
+  count through transient per-chunk :class:`~repro.dataset.table.
+  Dataset` views (bounded by the store's chunk LRU).
+
+Arbitrary-mask counting (`mask_group_counts`) runs against the view's
+resident group-code column in one ``bincount`` — masks are produced by
+the SDAD-CS recursion over full columns the view already materialises
+lazily, so no chunk traversal is needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.items import CategoricalItem, Itemset
+from ..dataset.bitmap import popcount_rows
+from ..dataset.chunked import GROUP_FILE, ChunkedView, ChunkMeta
+from ..dataset.table import DatasetError
+from .base import CountingBackendBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataset.chunked import ChunkedDataset
+
+__all__ = ["ChunkedBackend", "DEFAULT_COUNTS_CACHE"]
+
+#: Default number of (chunk digest, itemset) count vectors kept.  Each
+#: entry is one small int64 vector (|groups| elements), so even a large
+#: cache is a few MB — it is effectively bounded by candidate churn, not
+#: memory.
+DEFAULT_COUNTS_CACHE = 65_536
+
+
+class _ChunkBits:
+    """Bits-only packed index of one chunk (no dataset reference).
+
+    Holds per-(attribute, value) coverage bit-vectors and the stacked
+    per-group membership bit-vectors, built directly from the chunk's
+    memory-mapped code files.  Dropping the dataset reference is the
+    point: keeping these resident for every chunk costs ~1 bit per row
+    per categorical value — the same budget as the in-memory
+    :class:`~repro.counting.bitmap.BitmapBackend`'s index — while the
+    chunk's 8-byte-wide columns stay on disk.
+    """
+
+    __slots__ = ("n_rows", "item_bits", "group_stack")
+
+    def __init__(self, store: "ChunkedDataset", meta: ChunkMeta) -> None:
+        self.n_rows = meta.n_rows
+        self.item_bits: dict[tuple[str, str], np.ndarray] = {}
+        for name in store.schema.categorical_names:
+            attr = store.schema[name]
+            raw = store._mmap_file(meta, name)
+            for code, label in enumerate(attr.categories):
+                self.item_bits[(name, label)] = np.packbits(raw == code)
+        codes = store._mmap_file(meta, GROUP_FILE)
+        self.group_stack = np.stack(
+            [
+                np.packbits(codes == g)
+                for g in range(len(store.group_labels))
+            ]
+        )
+
+    def counts(self, itemset: Itemset) -> np.ndarray:
+        bits = None
+        for item in itemset:
+            item_bits = self.item_bits[(item.attribute, item.value)]
+            bits = item_bits if bits is None else bits & item_bits
+        if bits is None:
+            return popcount_rows(self.group_stack)
+        return popcount_rows(self.group_stack & bits)
+
+
+class ChunkedBackend(CountingBackendBase):
+    """Count supports chunk-by-chunk over a :class:`ChunkedView`.
+
+    Parameters
+    ----------
+    view:
+        The lazy dataset facade to count over (``backend.dataset``).
+    inner:
+        Per-chunk counting strategy: ``"mask"`` (boolean masks over
+        transient chunk views) or ``"bitmap"`` (resident bits-only
+        chunk indexes for categorical itemsets).  Both are exact; they
+        trade memory for categorical-counting speed exactly like the
+        in-memory backends of the same names.
+    cache_size:
+        Capacity of the (chunk digest, itemset) counts LRU.
+    """
+
+    name = "chunked"
+
+    def __init__(
+        self,
+        view: ChunkedView,
+        inner: str = "mask",
+        cache_size: int | None = None,
+    ) -> None:
+        if not isinstance(view, ChunkedView):
+            raise TypeError(
+                "ChunkedBackend counts over a ChunkedView "
+                "(use ChunkedDataset.view())"
+            )
+        if inner not in ("mask", "bitmap"):
+            raise ValueError(
+                f"unknown inner counting strategy {inner!r}; "
+                "expected 'mask' or 'bitmap'"
+            )
+        if cache_size is not None and cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        super().__init__(view)
+        self.inner = inner
+        self.name = f"chunked+{inner}"
+        self.cache_size = cache_size or DEFAULT_COUNTS_CACHE
+        self._counts_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._chunk_bits: dict[str, _ChunkBits] = {}
+
+    # ------------------------------------------------------------------
+    # Per-chunk counting
+    # ------------------------------------------------------------------
+
+    def _bits_for(self, meta: ChunkMeta) -> _ChunkBits:
+        bits = self._chunk_bits.get(meta.digest)
+        if bits is None:
+            bits = _ChunkBits(self.dataset.chunk_store, meta)
+            self._chunk_bits[meta.digest] = bits
+        return bits
+
+    def _chunk_counts(
+        self, meta: ChunkMeta, index: int, itemset: Itemset,
+        categorical_only: bool,
+    ) -> np.ndarray:
+        if self.inner == "bitmap" and categorical_only:
+            return self._bits_for(meta).counts(itemset)
+        chunk = self.dataset.chunk_store.chunk_dataset(index)
+        return chunk.group_counts(itemset.cover(chunk)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # CountingBackend interface
+    # ------------------------------------------------------------------
+
+    def group_counts(self, itemset: Itemset) -> np.ndarray:
+        self.count_calls += 1
+        view: ChunkedView = self.dataset
+        total = np.zeros(view.n_groups, dtype=np.int64)
+        categorical_only = all(
+            isinstance(item, CategoricalItem) for item in itemset
+        )
+        for meta, index in zip(view.chunk_metas(), view.chunk_indices):
+            key = (meta.digest, itemset)
+            cached = self._counts_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._counts_cache.move_to_end(key)
+                total += cached
+                continue
+            self.cache_misses += 1
+            counts = self._chunk_counts(meta, index, itemset,
+                                        categorical_only)
+            self._counts_cache[key] = counts
+            if len(self._counts_cache) > self.cache_size:
+                self._counts_cache.popitem(last=False)
+            total += counts
+        return total
+
+    def cover(self, itemset: Itemset) -> np.ndarray:
+        view: ChunkedView = self.dataset
+        parts = [itemset.cover(chunk) for chunk in view.iter_chunks()]
+        if not parts:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(parts)
+
+    def mask_group_counts(self, mask: np.ndarray) -> np.ndarray:
+        self.count_calls += 1
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self.dataset.n_rows,):
+            raise DatasetError("mask must be a boolean array over rows")
+        # The view's group codes are resident, so an arbitrary-mask count
+        # is one bincount — no chunk traversal.
+        return self.dataset.group_counts(mask)
+
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Introspection for tests and benches."""
+        return {
+            "entries": len(self._counts_cache),
+            "capacity": self.cache_size,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "chunk_indexes": len(self._chunk_bits),
+            "index_bytes": sum(
+                sum(b.nbytes for b in bits.item_bits.values())
+                + bits.group_stack.nbytes
+                for bits in self._chunk_bits.values()
+            ),
+        }

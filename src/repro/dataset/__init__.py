@@ -1,5 +1,6 @@
 """Tabular data substrate: schema, columnar storage, I/O and generators."""
 
+from .chunked import ChunkedDataset, ChunkedDatasetError, ChunkedView
 from .schema import Attribute, AttributeKind, Schema, SchemaError
 from .table import Dataset, DatasetError, GroupInfo
 
@@ -11,4 +12,7 @@ __all__ = [
     "Dataset",
     "DatasetError",
     "GroupInfo",
+    "ChunkedDataset",
+    "ChunkedDatasetError",
+    "ChunkedView",
 ]

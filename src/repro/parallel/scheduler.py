@@ -67,7 +67,7 @@ from ..core.pruning import PruneTable
 from ..core.sdad import sdad_cs
 from ..core.stats import AlphaLadder
 from ..core.topk import TopKList
-from ..counting import CountingBackend, make_backend
+from ..counting import CountingBackend, backend_from_config
 from ..dataset.table import Dataset
 from ..resilience.checkpoint import (
     MiningCheckpoint,
@@ -93,9 +93,12 @@ def _init_worker(
 ) -> None:
     global _WORKER_DATASET, _WORKER_CONFIG, _WORKER_BACKEND
     global _WORKER_FAULT_PLAN
+    # A ChunkedView arrives as a tiny (path, chunk ids) pickle and
+    # re-opens the store here — workers share chunk bytes through the
+    # page cache instead of receiving the table itself.
     _WORKER_DATASET = dataset
     _WORKER_CONFIG = config
-    _WORKER_BACKEND = make_backend(config.counting_backend, dataset)
+    _WORKER_BACKEND = backend_from_config(config, dataset)
     _WORKER_FAULT_PLAN = fault_plan
 
 
@@ -254,9 +257,7 @@ class _SerialFallback:
 
     def __call__(self, task: _LevelTask) -> _TaskOutcome:
         if self._backend is None:
-            self._backend = make_backend(
-                self._config.counting_backend, self._dataset
-            )
+            self._backend = backend_from_config(self._config, self._dataset)
         return _execute_task(task, self._dataset, self._config, self._backend)
 
 
@@ -453,7 +454,13 @@ def parallel_search(
         stats.resumed_from_level = resume_from.completed_level
     else:
         stats = MiningStats()
-        stats.counting_backend = config.counting_backend
+        from ..dataset.chunked import ChunkedView
+
+        stats.counting_backend = (
+            f"chunked+{config.counting_backend}"
+            if isinstance(dataset, ChunkedView)
+            else config.counting_backend
+        )
         prune_table = PruneTable()
         ladder = AlphaLadder(config.alpha)
         topk = TopKList(config.k, config.delta)

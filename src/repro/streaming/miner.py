@@ -181,6 +181,7 @@ class StreamingContrastMiner:
         self._since_refresh = 0
         self._patterns: list[ContrastPattern] = []
         self._ever_refreshed = False
+        self._chunk_cursors: dict[str, int] = {}
 
     @property
     def current_patterns(self) -> list[ContrastPattern]:
@@ -218,6 +219,27 @@ class StreamingContrastMiner:
              self.window.schema.names},
             np.asarray(dataset.group_codes),
         )
+
+    def consume_chunks(self, store) -> list[StreamUpdate]:
+        """Feed every not-yet-consumed chunk of a
+        :class:`~repro.dataset.chunked.ChunkedDataset` into the window.
+
+        The natural pairing for the out-of-core layer: a producer
+        appends immutable chunks to the store, and the monitoring loop
+        periodically calls ``consume_chunks`` — each new chunk becomes
+        one :meth:`update` call, triggering refreshes on the usual
+        cadence.  Progress is tracked per store path, so interleaving
+        several stores works; chunks already fed are never re-fed
+        (chunk immutability makes the cursor a plain index).  Returns
+        the updates in chunk order (empty if nothing new appeared).
+        """
+        store.reload()
+        cursor = self._chunk_cursors.get(str(store.path), 0)
+        updates: list[StreamUpdate] = []
+        for index in range(cursor, store.n_chunks):
+            updates.append(self.update_dataset(store.chunk_dataset(index)))
+        self._chunk_cursors[str(store.path)] = store.n_chunks
+        return updates
 
     def _refresh(self) -> StreamUpdate:
         snapshot = self.window.snapshot()

@@ -1,0 +1,89 @@
+"""Columnar smoke test: pack ~1M synthetic rows, mine out-of-core in
+parallel, and require exact parity with the in-memory run.
+
+Slow-gated (``--runslow``); CI runs it in the dedicated
+``columnar-smoke`` job under a wall-clock cap.  The million-row scale
+proof (peak-RSS accounting on >=10M rows) lives in
+``benchmarks/bench_columnar.py`` — this test is the fast end of the
+same contract: chunking and parallelism change *where* the counting
+happens, never the answer.
+"""
+
+import resource
+
+import numpy as np
+import pytest
+
+from repro import (
+    Attribute,
+    ChunkedDataset,
+    ContrastSetMiner,
+    Dataset,
+    MinerConfig,
+    Schema,
+)
+from repro.core.serialize import patterns_to_dicts
+
+N_ROWS = 1_000_000
+CHUNK_SIZE = 131_072
+
+
+def _million_row_dataset() -> Dataset:
+    """Synthetic mixed dataset with planted contrasts, deterministic."""
+    rng = np.random.default_rng(20190326)  # EDBT'19 publication date
+    group = rng.integers(0, 2, N_ROWS)
+    # planted numeric contrast: latency shifts up for group 1
+    latency = rng.gamma(2.0, 1.0, N_ROWS) + np.where(group == 1, 1.5, 0.0)
+    throughput = rng.uniform(0.0, 100.0, N_ROWS)
+    # planted categorical contrast: region code 2 over-represented in
+    # group 1
+    region = np.where(
+        group == 1,
+        rng.choice(4, N_ROWS, p=[0.1, 0.2, 0.6, 0.1]),
+        rng.choice(4, N_ROWS, p=[0.3, 0.3, 0.1, 0.3]),
+    )
+    schema = Schema.of(
+        [
+            Attribute.continuous("latency"),
+            Attribute.continuous("throughput"),
+            Attribute.categorical(
+                "region", ["us-east", "us-west", "eu", "apac"]
+            ),
+        ]
+    )
+    return Dataset(
+        schema,
+        {"latency": latency, "throughput": throughput, "region": region},
+        group,
+        ["ok", "degraded"],
+    )
+
+
+@pytest.mark.slow
+def test_million_row_chunked_parallel_parity(tmp_path):
+    dataset = _million_row_dataset()
+    store = ChunkedDataset.pack(
+        tmp_path / "store", dataset, chunk_size=CHUNK_SIZE
+    )
+    assert store.n_rows == N_ROWS
+    assert store.n_chunks == -(-N_ROWS // CHUNK_SIZE)
+
+    config = MinerConfig(max_tree_depth=2)
+    dense = ContrastSetMiner(config).mine(dataset)
+    chunked = ContrastSetMiner(config).mine(store, n_jobs=2)
+
+    assert patterns_to_dicts(chunked.patterns) == patterns_to_dicts(
+        dense.patterns
+    )
+    dense_summary, chunked_summary = dense.summary(), chunked.summary()
+    assert chunked_summary.prune_rule_checks == (
+        dense_summary.prune_rule_checks
+    )
+    assert chunked_summary.prune_reasons == dense_summary.prune_reasons
+    assert chunked.patterns, "smoke dataset must yield planted contrasts"
+
+    # coarse memory sanity: the run must not have materialized many
+    # copies of the dataset (dense columns ~24MB; allow generous slack
+    # for the interpreter + the in-memory baseline run above)
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    assert peak_kb < 2_000_000, f"peak RSS {peak_kb}KB unexpectedly high"
