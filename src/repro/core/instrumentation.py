@@ -34,12 +34,22 @@ class MiningStats:
     """Context-coverage cache hits (bitmap backend; 0 for mask)."""
     cache_misses: int = 0
     """Context-coverage cache misses (bitmap backend; 0 for mask)."""
+    batch_calls: int = 0
+    """``group_counts_batch`` invocations on the counting backend."""
+    batched_candidates: int = 0
+    """Candidates counted through ``group_counts_batch`` (each also bumps
+    ``count_calls`` so scalar and batch drivers report comparable totals)."""
+    batch_fallbacks: int = 0
+    """Batched candidates that fell back to a per-candidate scalar count
+    (backend without a native batch path, or hybrid numeric itemsets)."""
     prune_rule_checks: dict[str, int] = field(default_factory=dict)
     """Per pipeline rule: candidates the rule examined."""
     prune_rule_hits: dict[str, int] = field(default_factory=dict)
     """Per pipeline rule: candidates the rule pruned."""
     prune_rule_seconds: dict[str, float] = field(default_factory=dict)
     """Per pipeline rule: wall time spent inside the rule's check."""
+    prune_rule_batched: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: checks that ran through the batch evaluator."""
     prune_reasons: dict[str, int] = field(default_factory=dict)
     """Unique pruned keys per :class:`PruneReason` name (the Table-4-style
     ablation view; sourced from the prune lookup table)."""
@@ -85,6 +95,9 @@ class MiningStats:
         self.count_calls += other.count_calls
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.batch_calls += other.batch_calls
+        self.batched_candidates += other.batched_candidates
+        self.batch_fallbacks += other.batch_fallbacks
         for name, value in other.prune_rule_checks.items():
             self.prune_rule_checks[name] = (
                 self.prune_rule_checks.get(name, 0) + value
@@ -96,6 +109,10 @@ class MiningStats:
         for name, seconds in other.prune_rule_seconds.items():
             self.prune_rule_seconds[name] = (
                 self.prune_rule_seconds.get(name, 0.0) + seconds
+            )
+        for name, value in other.prune_rule_batched.items():
+            self.prune_rule_batched[name] = (
+                self.prune_rule_batched.get(name, 0) + value
             )
         for name, value in other.prune_reasons.items():
             self.prune_reasons[name] = (

@@ -9,20 +9,33 @@ Table 4's cross-community comparison).
 Measures are plain functions ``ContrastPattern -> float`` registered under a
 string name so that :class:`~repro.core.miner.MinerConfig` can select them
 by name and ablation benches can sweep them.
+
+The batch evaluation engine (DESIGN.md §12) additionally registers
+*vectorized* forms under the same names: ``(counts (N, G) array,
+group_sizes) -> (N,) float vector``, bit-identical per row to the scalar
+measure on the corresponding pattern.  :func:`get_batch` returns ``None``
+for measures without a vectorized form (``wracc``/``leverage``/``lift``),
+in which case callers fall back to the scalar function per candidate.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
 
 from .contrast import ContrastPattern
 
 __all__ = [
     "MeasureFn",
+    "BatchMeasureFn",
     "register",
+    "register_batch",
     "get",
+    "get_batch",
     "evaluate",
     "available_measures",
+    "supports_from_counts",
     "support_difference",
     "purity_ratio",
     "surprising_measure",
@@ -32,8 +45,10 @@ __all__ = [
 ]
 
 MeasureFn = Callable[[ContrastPattern], float]
+BatchMeasureFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 _REGISTRY: Dict[str, MeasureFn] = {}
+_BATCH_REGISTRY: Dict[str, BatchMeasureFn] = {}
 
 
 def register(name: str) -> Callable[[MeasureFn], MeasureFn]:
@@ -48,6 +63,29 @@ def register(name: str) -> Callable[[MeasureFn], MeasureFn]:
     return decorator
 
 
+def register_batch(
+    name: str,
+) -> Callable[[BatchMeasureFn], BatchMeasureFn]:
+    """Decorator registering the vectorized form of measure ``name``.
+
+    The scalar form must already be registered; the batch form must
+    return, for each counts row, the exact double the scalar measure
+    yields on the corresponding :class:`ContrastPattern`.
+    """
+
+    def decorator(fn: BatchMeasureFn) -> BatchMeasureFn:
+        if name not in _REGISTRY:
+            raise ValueError(
+                f"register the scalar measure {name!r} before its batch form"
+            )
+        if name in _BATCH_REGISTRY:
+            raise ValueError(f"batch measure {name!r} already registered")
+        _BATCH_REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
 def get(name: str) -> MeasureFn:
     """Look up a measure by name."""
     try:
@@ -57,6 +95,13 @@ def get(name: str) -> MeasureFn:
             f"unknown interest measure {name!r}; "
             f"available: {sorted(_REGISTRY)}"
         ) from None
+
+
+def get_batch(name: str) -> Optional[BatchMeasureFn]:
+    """Vectorized form of measure ``name``, or ``None`` if it only has a
+    scalar implementation (callers then evaluate per candidate)."""
+    get(name)  # surface unknown-measure errors identically to get()
+    return _BATCH_REGISTRY.get(name)
 
 
 def evaluate(name: str, pattern: ContrastPattern) -> float:
@@ -120,6 +165,62 @@ def leverage(pattern: ContrastPattern) -> float:
     p_cond = pattern.total_count / total
     p_target = pattern.group_sizes[target] / total
     return p_joint - p_cond * p_target
+
+
+# ----------------------------------------------------------------------
+# Vectorized measure kernels (batch evaluation engine, DESIGN.md §12)
+# ----------------------------------------------------------------------
+
+
+def supports_from_counts(
+    counts: np.ndarray, group_sizes: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Per-group supports of an ``(N, G)`` counts matrix (Eq. 1).
+
+    Row ``i`` equals ``ContrastPattern(counts=counts[i], ...).supports``
+    exactly: zero-size groups get support 0.0 and the IEEE division is
+    the same one Python performs per element.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    return np.divide(
+        counts, sizes[None, :], out=np.zeros_like(counts),
+        where=(sizes > 0)[None, :],
+    )
+
+
+@register_batch("support_difference")
+def support_difference_batch(
+    counts: np.ndarray, group_sizes: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 2: max support minus min support per row."""
+    sup = supports_from_counts(counts, group_sizes)
+    return sup.max(axis=1) - sup.min(axis=1)
+
+
+def _purity_ratio_rows(sup: np.ndarray) -> np.ndarray:
+    s_hi = sup.max(axis=1)
+    s_lo = sup.min(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = 1.0 - s_lo / s_hi
+    return np.where(s_hi == 0.0, 0.0, ratio)
+
+
+@register_batch("purity_ratio")
+def purity_ratio_batch(
+    counts: np.ndarray, group_sizes: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 12 between the extreme-support groups per row."""
+    return _purity_ratio_rows(supports_from_counts(counts, group_sizes))
+
+
+@register_batch("surprising")
+def surprising_measure_batch(
+    counts: np.ndarray, group_sizes: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 13: PR x Diff per row."""
+    sup = supports_from_counts(counts, group_sizes)
+    return _purity_ratio_rows(sup) * (sup.max(axis=1) - sup.min(axis=1))
 
 
 @register("lift")

@@ -73,6 +73,19 @@ class MiningSummary:
     """Level-boundary checkpoints written during the run."""
     resumed_from_level: int = 0
     """Deepest completed level restored from a checkpoint (0 = fresh)."""
+    batch_calls: int = 0
+    """Batched counting sweeps (``group_counts_batch`` invocations plus
+    fused SDAD-CS child-space counts)."""
+    batched_candidates: int = 0
+    """Candidates whose supports were counted through a batched sweep
+    (each also bumps ``count_calls``, keeping totals comparable with the
+    scalar driver)."""
+    batch_fallbacks: int = 0
+    """Batched candidates that fell back to a per-candidate scalar count
+    (backend without a native batch path, or hybrid numeric itemsets)."""
+    prune_rule_batched: dict[str, int] = field(default_factory=dict)
+    """Per pipeline rule: checks that ran through the batch evaluator
+    (the ``mode`` column of ``--explain-prunes``)."""
 
 
 @dataclass
@@ -121,6 +134,10 @@ class MiningResult:
             n_tasks_failed=self.stats.tasks_failed,
             n_checkpoints=self.stats.checkpoints_written,
             resumed_from_level=self.stats.resumed_from_level,
+            batch_calls=self.stats.batch_calls,
+            batched_candidates=self.stats.batched_candidates,
+            batch_fallbacks=self.stats.batch_fallbacks,
+            prune_rule_batched=dict(self.stats.prune_rule_batched),
         )
 
     def explain_prunes(self) -> str:

@@ -13,12 +13,18 @@ from typing import Sequence
 
 import numpy as np
 
-from .stats import chi_square_independence, contingency_from_counts
+from .stats import (
+    chi_square_counts_batch,
+    chi_square_independence,
+    contingency_from_counts,
+)
 
 __all__ = [
     "max_instances_child",
     "support_difference_estimate",
+    "support_difference_estimate_batch",
     "chi_square_estimate",
+    "chi_square_estimate_batch",
 ]
 
 
@@ -120,6 +126,59 @@ def support_difference_estimate(
     return best
 
 
+def support_difference_estimate_batch(
+    counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    db_size: int,
+    level: int,
+    n_continuous: int,
+) -> np.ndarray:
+    """Vectorized Eq. 7-11 over an ``(N, G)`` counts matrix.
+
+    Element ``i`` is bit-identical to ``support_difference_estimate(
+    counts[i], ...)`` — the same IEEE-754 op sequence runs per row, and
+    the pairwise max is over identical doubles.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    if counts.ndim != 2 or counts.shape[1] != sizes.shape[0]:
+        raise ValueError("counts and group_sizes must align")
+    n, g = counts.shape
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    space_count = counts.sum(axis=1)
+    paper_bound = db_size / (2 ** (level + 1) * n_continuous)
+    max_child = np.minimum(
+        np.maximum(paper_bound, np.ceil(space_count / 2.0)), space_count
+    )
+    size_pos = sizes > 0
+    supports = np.divide(
+        counts, sizes[None, :], out=np.zeros_like(counts),
+        where=size_pos[None, :],
+    )
+    max_supp = np.minimum(
+        np.divide(
+            max_child[:, None], sizes[None, :],
+            out=np.ones((n, g), dtype=np.float64),
+            where=size_pos[None, :],
+        ),
+        supports,
+    )
+    other_instances = db_size - counts  # Eq. 8
+    min_instances = max_child[:, None] - other_instances  # Eq. 9
+    min_supp = np.maximum(
+        0.0,
+        np.divide(
+            min_instances, sizes[None, :],
+            out=np.zeros_like(counts), where=size_pos[None, :],
+        ),
+    )  # Eq. 10
+    diffs = max_supp[:, :, None] - min_supp[:, None, :]  # Eq. 11
+    idx = np.arange(g)
+    diffs[:, idx, idx] = -math.inf
+    return np.maximum(diffs.reshape(n, -1).max(axis=1), 0.0)
+
+
 def chi_square_estimate(
     counts: Sequence[int] | np.ndarray,
     group_sizes: Sequence[int] | np.ndarray,
@@ -141,4 +200,35 @@ def chi_square_estimate(
             continue
         table = contingency_from_counts(scenario, sizes)
         best = max(best, chi_square_independence(table).statistic)
+    return best
+
+
+def chi_square_estimate_batch(
+    counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """STUCCO optimistic chi-square bound over an ``(N, G)`` counts matrix.
+
+    Bit-identical per row to :func:`chi_square_estimate`: each
+    "keep only group g" scenario is scored for the whole batch with
+    :func:`~repro.core.stats.chi_square_counts_batch` (itself exact
+    against the scalar test), and a zero scenario count contributes a
+    zero statistic — the same as the scalar path's ``continue`` under the
+    ``best = max(0.0, ...)`` fold.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    if counts.ndim != 2 or counts.shape[1] != sizes.shape[0]:
+        raise ValueError("counts and group_sizes must align")
+    n, g = counts.shape
+    best = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return best
+    scenario = np.zeros_like(counts)
+    for keep in range(g):
+        if keep:
+            scenario[:, keep - 1] = 0
+        scenario[:, keep] = counts[:, keep]
+        stat, _, _ = chi_square_counts_batch(scenario, sizes)
+        np.maximum(best, stat, out=best)
     return best

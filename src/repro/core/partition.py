@@ -158,20 +158,28 @@ def full_space(
     attributes: Sequence[str],
     context_mask: np.ndarray,
     backend=None,
+    *,
+    ranges: Mapping[str, AttributeRange] | None = None,
 ) -> Space:
     """The level-0 space: each attribute's full observed range.
 
     The root interval is closed on both sides so the attribute minimum is
     covered; all descendant left-open splits inherit correct closure.
     ``backend`` optionally routes the group counting through a
-    :class:`repro.counting.CountingBackend`.
+    :class:`repro.counting.CountingBackend`.  ``ranges`` may supply
+    precomputed :class:`AttributeRange` objects (they are a whole-column
+    property, so callers running many contexts over the same dataset can
+    share one cache); missing attributes are computed here.
     """
     intervals: dict[str, Interval] = {}
-    ranges: dict[str, AttributeRange] = {}
+    used: dict[str, AttributeRange] = {}
     for name in attributes:
-        rng = AttributeRange.of(dataset, name)
-        ranges[name] = rng
+        rng = ranges.get(name) if ranges is not None else None
+        if rng is None:
+            rng = AttributeRange.of(dataset, name)
+        used[name] = rng
         intervals[name] = Interval(rng.lo, rng.hi, True, True)
+    ranges = used
     if backend is not None:
         counts = backend.mask_group_counts(context_mask)
     else:
@@ -184,6 +192,8 @@ def partition_median(
     space: Space,
     attribute: str,
     statistic: str = "median",
+    *,
+    fast: bool = False,
 ) -> tuple[Interval, Interval] | None:
     """Split one attribute's interval at the median (or mean) of the rows
     in ``space``.
@@ -191,16 +201,40 @@ def partition_median(
     Returns ``None`` when the attribute cannot be split (no rows, or all
     values inside the space are identical — the "number of unique values far
     less than data points" caveat from Section 4.1).
+
+    ``fast=True`` (the batch evaluation engine) fetches the minimum,
+    maximum, and both middle order statistics from a single introselect
+    pass instead of three separate reductions; an even-length median is
+    the mean of the two partitioned middles either way, so the split
+    point is bit-identical.
     """
     values = dataset.column(attribute)[space.mask]
     values = values[~np.isnan(values)]  # missing rows join no half
     if values.size == 0:
         return None
+    interval = space.intervals[attribute]
+    if fast and statistic == "median":
+        n = values.size
+        mid = n >> 1
+        part = np.partition(values, sorted({0, max(mid - 1, 0), mid, n - 1}))
+        vmin = float(part[0])
+        vmax = float(part[-1])
+        if vmin == vmax:
+            return None
+        if n & 1:
+            median = float(part[mid])
+        else:
+            median = float((part[mid - 1] + part[mid]) / 2.0)
+        if median >= vmax:
+            distinct = np.unique(values)
+            median = float(distinct[-2])
+        left = Interval(interval.lo, median, interval.lo_closed, True)
+        right = Interval(median, interval.hi, False, interval.hi_closed)
+        return left, right
     vmin = float(values.min())
     vmax = float(values.max())
     if vmin == vmax:
         return None
-    interval = space.intervals[attribute]
     if statistic == "mean":
         # the mean of a non-constant sample is strictly inside
         # (vmin, vmax), so no tie fallback is ever needed
@@ -228,6 +262,8 @@ def find_combinations(
     space: Space,
     splits: Mapping[str, tuple[Interval, Interval]],
     backend=None,
+    *,
+    batch_counts: bool = False,
 ) -> list[Space]:
     """All combinations of the per-attribute halves (``find_combs``).
 
@@ -235,6 +271,13 @@ def find_combinations(
     split attributes this yields ``2^k`` child spaces; their masks partition
     the parent's mask.  ``backend`` optionally routes the per-space group
     counting through a :class:`repro.counting.CountingBackend`.
+
+    ``batch_counts=True`` (the batch evaluation engine, DESIGN.md §12)
+    computes each half's row cover once and reuses it across every child
+    that includes it, instead of re-deriving the cover per child — with
+    ``k`` split attributes that is ``2k`` interval covers instead of
+    ``k * 2^k``.  The child masks and counts are the same arrays either
+    way.
     """
     choices: list[tuple[str, tuple[Interval, ...]]] = []
     for name in space.attributes:
@@ -242,6 +285,9 @@ def find_combinations(
             choices.append((name, splits[name]))
         else:
             choices.append((name, (space.intervals[name],)))
+
+    if batch_counts and backend is not None:
+        return _find_combinations_batched(dataset, space, choices, backend)
 
     count_of = (
         backend.mask_group_counts
@@ -257,6 +303,47 @@ def find_combinations(
                 mask = mask & interval.cover(dataset.column(name))
         children.append(
             Space(intervals, mask, count_of(mask), space.ranges)
+        )
+    return children
+
+
+def _find_combinations_batched(
+    dataset: Dataset,
+    space: Space,
+    choices: Sequence[tuple[str, tuple[Interval, ...]]],
+    backend,
+) -> list[Space]:
+    """``find_combs`` with each half's row cover computed exactly once.
+
+    The child masks that come out of the shared covers are element-wise
+    identical to the scalar loop's, and each child's group counting still
+    goes through the backend (one ``mask_group_counts`` per child — with
+    the bitmap backend that is a packed popcount, far cheaper than
+    re-deriving covers), so ``count_calls`` advances exactly as the
+    scalar driver's.
+    """
+    covers: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    n_children = 1
+    for name, options in choices:
+        if len(options) > 1:
+            column = dataset.column(name)
+            covers[name] = (options[0].cover(column), options[1].cover(column))
+            n_children <<= 1
+    backend.batch_calls += 1
+    backend.batched_candidates += n_children
+
+    children: list[Space] = []
+    for combo in itertools.product(*(c[1] for c in choices)):
+        intervals = {name: iv for (name, _), iv in zip(choices, combo)}
+        mask = space.mask
+        for (name, options), interval in zip(choices, combo):
+            if len(options) > 1:
+                left, right = covers[name]
+                mask = mask & (left if interval is options[0] else right)
+        children.append(
+            Space(
+                intervals, mask, backend.mask_group_counts(mask), space.ranges
+            )
         )
     return children
 

@@ -38,13 +38,15 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Hashable, Mapping, Sequence
 
+import numpy as np
+
 from scipy import stats as _scipy_stats
 
 from .config import MinerConfig
 from .contrast import ContrastPattern, evaluate_itemset
 from .instrumentation import MiningStats
-from .items import Itemset
-from .optimistic import chi_square_estimate
+from .items import CategoricalItem, Itemset, NumericItem
+from .optimistic import chi_square_estimate, chi_square_estimate_batch
 from .pruning import (
     PruneDecision,
     PruneReason,
@@ -53,10 +55,12 @@ from .pruning import (
     is_pure_space,
     minimum_deviation_prunes,
     redundant_against_subset,
+    redundant_against_subset_batch,
 )
 
 __all__ = [
     "EvaluationContext",
+    "EvaluationBatch",
     "PruneRule",
     "EmptyRule",
     "PureSpaceRule",
@@ -196,6 +200,146 @@ class EvaluationContext:
         return self.total_count
 
 
+class EvaluationBatch:
+    """All candidates of one (level, combo) as a single array program.
+
+    Where :class:`EvaluationContext` carries one candidate, a batch
+    carries N: the stacked ``(N, n_groups)`` counts matrix, the shared
+    alpha/level/config, and lazily-derived arrays (totals, supports) the
+    vectorized rules share.  Per-candidate :class:`EvaluationContext`
+    objects are only materialised — through ``context_factory`` — when a
+    rule without a vectorized form falls back to its scalar ``check``.
+
+    ``counts`` may be ``None`` for the pre-counting precheck batch
+    (pattern-free rules only).  ``shared_subset_factory`` supplies the one
+    subset pattern every candidate is compared against in the SDAD-CS
+    space phase (the parent region); it is invoked at most once.
+    ``spaces``/``categorical`` carry the SDAD-CS frame's boxes and shared
+    categorical context so space-geometry rules (pure-space subsumption)
+    can run without materialising per-candidate itemsets.
+    """
+
+    __slots__ = (
+        "keys",
+        "phase",
+        "config",
+        "alpha",
+        "level",
+        "threshold",
+        "known_pure",
+        "counts",
+        "group_sizes",
+        "spaces",
+        "categorical",
+        "shared_subset_groups",
+        "_sizes_f",
+        "_totals",
+        "_supports",
+        "_shared_subset",
+        "_shared_subset_factory",
+        "_context_factory",
+        "_contexts",
+    )
+
+    _MISSING = object()
+
+    def __init__(
+        self,
+        *,
+        keys: Sequence[Hashable],
+        config: MinerConfig,
+        alpha: float,
+        phase: str = PHASE_ITEMSET,
+        level: int = 1,
+        threshold: float = 0.0,
+        known_pure: Sequence[Itemset] = (),
+        counts: np.ndarray | None = None,
+        group_sizes: Sequence[int] | None = None,
+        spaces: Sequence | None = None,
+        categorical: Itemset | None = None,
+        context_factory: Callable[[int], EvaluationContext] | None = None,
+        shared_subset_factory: Callable[[], ContrastPattern | None]
+        | None = None,
+        shared_subset_groups: Sequence[
+            tuple[np.ndarray, Callable[[], ContrastPattern | None]]
+        ]
+        | None = None,
+    ) -> None:
+        self.keys = list(keys)
+        self.phase = phase
+        self.config = config
+        self.alpha = alpha
+        self.level = level
+        self.threshold = threshold
+        self.known_pure = known_pure
+        self.spaces = spaces
+        self.categorical = categorical
+        # Multi-frame batches: (row positions, lazy parent pattern) per
+        # SDAD-CS frame, so the redundancy rule can compare each child
+        # against its own parent region.
+        self.shared_subset_groups = shared_subset_groups
+        self.counts = (
+            None if counts is None else np.asarray(counts, dtype=np.int64)
+        )
+        self.group_sizes = (
+            tuple(group_sizes) if group_sizes is not None else None
+        )
+        self._sizes_f = None
+        self._totals = None
+        self._supports = None
+        self._shared_subset = EvaluationBatch._MISSING
+        self._shared_subset_factory = shared_subset_factory
+        self._context_factory = context_factory
+        self._contexts: dict[int, EvaluationContext] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.keys)
+
+    @property
+    def sizes_f(self) -> np.ndarray:
+        if self._sizes_f is None:
+            self._sizes_f = np.asarray(self.group_sizes, dtype=np.float64)
+        return self._sizes_f
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Per-candidate covered-row totals (int64)."""
+        if self._totals is None:
+            self._totals = self.counts.sum(axis=1)
+        return self._totals
+
+    @property
+    def supports(self) -> np.ndarray:
+        """Per-candidate support rows — exactly
+        ``ContrastPattern.supports`` per element (Eq. 1)."""
+        if self._supports is None:
+            counts = self.counts.astype(np.float64)
+            sizes = self.sizes_f
+            self._supports = np.divide(
+                counts, sizes[None, :], out=np.zeros_like(counts),
+                where=(sizes > 0)[None, :],
+            )
+        return self._supports
+
+    @property
+    def shared_subset(self) -> ContrastPattern | None:
+        if self._shared_subset is EvaluationBatch._MISSING:
+            self._shared_subset = (
+                self._shared_subset_factory()
+                if self._shared_subset_factory is not None
+                else None
+            )
+        return self._shared_subset
+
+    def context(self, i: int) -> EvaluationContext:
+        """Per-candidate context for scalar-fallback rules (memoized)."""
+        ctx = self._contexts.get(i)
+        if ctx is None:
+            ctx = self._contexts[i] = self._context_factory(i)
+        return ctx
+
+
 class PruneRule:
     """One pruning strategy of Sections 3/4.3 as a pipeline stage.
 
@@ -204,6 +348,12 @@ class PruneRule:
     needs the candidate's evaluated pattern/counts (``needs_pattern`` —
     pattern-free rules can run in the pre-counting ``precheck`` phase),
     and optionally the candidate phases it applies to.
+
+    Rules may additionally override :meth:`check_batch` to judge a whole
+    :class:`EvaluationBatch` as one boolean mask; the base implementation
+    falls back to the scalar :meth:`check` per candidate, so every rule —
+    including third-party ones that predate the batch engine — works
+    under the batch evaluator unchanged.
     """
 
     name: str = "abstract"
@@ -221,6 +371,22 @@ class PruneRule:
         """True when the candidate should be pruned."""
         raise NotImplementedError
 
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        """Prune mask over ``batch`` candidates ``idx`` (True = prune).
+
+        Default: the scalar :meth:`check` per still-alive candidate.
+        Overrides must return, for each index, exactly what ``check``
+        would on the equivalent context — bit-identical accounting
+        depends on it.
+        """
+        return np.fromiter(
+            (self.check(batch.context(i)) for i in idx),
+            dtype=bool,
+            count=len(idx),
+        )
+
 
 class EmptyRule(PruneRule):
     """No covered rows at all — nothing to test (always enabled)."""
@@ -230,6 +396,11 @@ class EmptyRule(PruneRule):
 
     def check(self, ctx: EvaluationContext) -> bool:
         return ctx._counts_total() == 0
+
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        return batch.totals[idx] == 0
 
 
 class PureSpaceRule(PruneRule):
@@ -245,6 +416,13 @@ class PureSpaceRule(PruneRule):
     reason = PruneReason.PURE_SPACE
     needs_pattern = False
 
+    def __init__(self) -> None:
+        # One-slot memo for the space-phase decomposition: its inputs
+        # (known_pure, categorical context, box axes) are frozen for a
+        # whole SDAD-CS run, and runs are sequential.
+        self._frame_key: tuple | None = None
+        self._frame_numeric: list[list] | tuple | None = None
+
     def enabled(self, config: MinerConfig) -> bool:
         return config.prune_pure_space
 
@@ -258,6 +436,112 @@ class PureSpaceRule(PruneRule):
             n > len(pure) and pure.region_subsumes(candidate)
             for pure in known
         )
+
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        if not batch.known_pure:
+            # No registered pure regions: the rule can never fire.
+            return np.zeros(len(idx), dtype=bool)
+        if batch.phase == PHASE_SPACE and batch.spaces is not None:
+            return self._check_spaces(batch, idx)
+        return super().check_batch(batch, idx)
+
+    def _check_spaces(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        """Frame-shared subsumption over an SDAD-CS space batch.
+
+        A sibling's candidate itemset is the frame's categorical context
+        plus one numeric item per box axis, so for each pure region the
+        categorical-part match (and the ``n > len(pure)`` guard) is
+        decided once per frame; only interval containment along the box
+        axes varies per sibling.  Result per index is exactly what the
+        scalar :meth:`check` returns on the materialised itemset.
+        """
+        categorical = batch.categorical
+        spaces = batch.spaces
+        out = np.zeros(len(idx), dtype=bool)
+        if not len(idx):
+            return out
+        axes = spaces[int(idx[0])].intervals
+        known = batch.known_pure
+        if not isinstance(known, tuple):
+            known = tuple(known)
+        # known_pure, the categorical context and the box axes are frozen
+        # for a whole SDAD-CS run, so the pure-region decomposition below
+        # is computed once per run and replayed for every sibling batch.
+        key = (known, categorical, tuple(axes))
+        if key == self._frame_key:
+            cached = self._frame_numeric
+            if cached is True:
+                out[:] = True
+                return out
+            return self._apply_numeric(cached, spaces, idx, out)
+        per_space = self._decompose(known, categorical, axes)
+        self._frame_key = key
+        self._frame_numeric = per_space
+        if per_space is True:
+            out[:] = True
+            return out
+        return self._apply_numeric(per_space, spaces, idx, out)
+
+    def _decompose(self, known_pure, categorical, axes):
+        """Split each pure region into its frame-shared and per-sibling
+        parts; ``True`` means the context alone sits inside a region."""
+        n = len(categorical) + len(axes)
+        per_space: list[list] = []
+        for pure in known_pure:
+            if not n > len(pure):
+                continue
+            shared_ok = True
+            numeric: list = []
+            for item in pure.items:
+                attribute = item.attribute
+                theirs = categorical.item_for(attribute)
+                if theirs is not None:
+                    if isinstance(item, CategoricalItem):
+                        if item != theirs:
+                            shared_ok = False
+                            break
+                    elif not isinstance(theirs, NumericItem):
+                        shared_ok = False
+                        break
+                    elif not item.interval.contains_interval(
+                        theirs.interval
+                    ):
+                        shared_ok = False
+                        break
+                elif attribute not in axes or isinstance(
+                    item, CategoricalItem
+                ):
+                    # No candidate item on this attribute (or a numeric
+                    # box axis where the pure region is categorical).
+                    shared_ok = False
+                    break
+                else:
+                    numeric.append((attribute, item.interval))
+            if not shared_ok:
+                continue
+            if not numeric:
+                return True  # the context alone sits inside the region
+            per_space.append(numeric)
+        return per_space
+
+    @staticmethod
+    def _apply_numeric(per_space, spaces, idx, out):
+        if not per_space:
+            return out
+        for j, i in enumerate(idx):
+            intervals = spaces[int(i)].intervals
+            for numeric in per_space:
+                if all(
+                    interval.contains_interval(intervals[attribute])
+                    for attribute, interval in numeric
+                ):
+                    out[j] = True
+                    break
+        return out
 
 
 class MinimumDeviationRule(PruneRule):
@@ -274,6 +558,14 @@ class MinimumDeviationRule(PruneRule):
             ctx.counts, ctx.group_sizes, ctx.config.delta
         )
 
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        # batch.supports is the same divide-with-where formula the batch
+        # kernel uses, shared with the redundancy rule — one computation
+        # per batch instead of one per rule.
+        return np.all(batch.supports[idx] <= batch.config.delta, axis=1)
+
 
 class ExpectedCountRule(PruneRule):
     """Some expected contingency cell is below the floor (rule 2)."""
@@ -288,6 +580,20 @@ class ExpectedCountRule(PruneRule):
         return expected_count_prunes(
             ctx.counts, ctx.group_sizes, ctx.config.min_expected_count
         )
+
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        # Closed form of min_expected_count_batch on the batch's shared
+        # row totals: row marginals are (r0, total - r0) and the column
+        # minimum is sizes.min(), all exact in float64 (integer-valued).
+        sizes = batch.sizes_f
+        total = float(sizes.sum())
+        if total <= 0:
+            return np.zeros(len(idx)) < batch.config.min_expected_count
+        r0 = batch.totals[idx].astype(np.float64)
+        bound = np.minimum(r0, total - r0) * float(sizes.min()) / total
+        return bound < batch.config.min_expected_count
 
 
 class OptimisticChiSquareRule(PruneRule):
@@ -310,6 +616,15 @@ class OptimisticChiSquareRule(PruneRule):
         dof = max(1, len(ctx.counts) - 1)
         return bound < chi2_critical(ctx.alpha, dof)
 
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        bounds = chi_square_estimate_batch(
+            batch.counts[idx], batch.group_sizes
+        )
+        dof = max(1, len(batch.group_sizes) - 1)
+        return bounds < chi2_critical(batch.alpha, dof)
+
 
 class RedundancyRule(PruneRule):
     """Support difference within the CLT band of a subset (Eq. 14-16)."""
@@ -329,6 +644,43 @@ class RedundancyRule(PruneRule):
             redundant_against_subset(pattern, subset, ctx.alpha)
             for subset in subsets
         )
+
+    def check_batch(
+        self, batch: EvaluationBatch, idx: np.ndarray
+    ) -> np.ndarray:
+        # The SDAD-CS space phase compares every child space against its
+        # frame's parent region, so the test vectorizes per frame — one
+        # kernel call per parent, each over that parent's rows (a
+        # single-frame batch has one group, reproducing the shared-parent
+        # fast path).  The itemset phase has per-candidate subset sets
+        # and falls back to the scalar check.
+        if batch.phase == PHASE_SPACE:
+            groups = batch.shared_subset_groups
+            if groups is not None:
+                out = np.zeros(len(idx), dtype=bool)
+                pos_of = {int(row): j for j, row in enumerate(idx)}
+                for rows, subset_of in groups:
+                    sel = [
+                        pos_of[int(row)]
+                        for row in rows
+                        if int(row) in pos_of
+                    ]
+                    if not sel:
+                        continue
+                    subset = subset_of()
+                    if subset is None:
+                        continue
+                    out[sel] = redundant_against_subset_batch(
+                        batch.supports[idx[sel]], subset, batch.alpha
+                    )
+                return out
+            subset = batch.shared_subset
+            if subset is None:
+                return np.zeros(len(idx), dtype=bool)
+            return redundant_against_subset_batch(
+                batch.supports[idx], subset, batch.alpha
+            )
+        return super().check_batch(batch, idx)
 
 
 def default_rules() -> tuple[PruneRule, ...]:
@@ -357,9 +709,12 @@ class RuleStats:
     checks: int = 0
     hits: int = 0
     seconds: float = 0.0
+    batched: int = 0
+    """How many of ``checks`` ran through :meth:`PruningPipeline.
+    evaluate_batch` (the ``mode`` column of ``--explain-prunes``)."""
 
     def snapshot(self) -> "RuleStats":
-        return RuleStats(self.checks, self.hits, self.seconds)
+        return RuleStats(self.checks, self.hits, self.seconds, self.batched)
 
 
 class PruningPipeline:
@@ -398,6 +753,8 @@ class PruningPipeline:
         # tuple of (check, record, reason) with the per-candidate rule
         # filtering and stats-dict lookups resolved once.
         self._plans: dict[tuple[bool, bool, str], tuple] = {}
+        # Same, but keeping the rule object for check_batch dispatch.
+        self._batch_plans: dict[tuple[bool, bool, str], tuple] = {}
         self._keep = PruneDecision.keep()
         self._drops = {
             rule.reason: PruneDecision.drop(rule.reason)
@@ -480,6 +837,80 @@ class PruningPipeline:
                 return self._drops[reason]
         return self._keep
 
+    def _batch_plan(
+        self,
+        pattern_free_only: bool,
+        skip_pattern_free: bool,
+        phase: str,
+    ) -> tuple:
+        key = (pattern_free_only, skip_pattern_free, phase)
+        plan = self._batch_plans.get(key)
+        if plan is None:
+            selected = []
+            for rule in self.rules:
+                if pattern_free_only and rule.needs_pattern:
+                    continue
+                if skip_pattern_free and not rule.needs_pattern:
+                    continue
+                if rule.phases is not None and phase not in rule.phases:
+                    continue
+                selected.append(
+                    (rule, self.rule_stats[rule.name], rule.reason)
+                )
+            plan = self._batch_plans[key] = tuple(selected)
+        return plan
+
+    def evaluate_batch(
+        self,
+        batch: EvaluationBatch,
+        *,
+        pattern_free_only: bool = False,
+        skip_pattern_free: bool = False,
+    ) -> np.ndarray:
+        """Run the rule chain over a whole batch; True = candidate kept.
+
+        Accounting is summed identically to running :meth:`evaluate` per
+        candidate: each rule's ``checks`` grows by the number of
+        candidates still alive when it runs (a candidate killed by an
+        earlier rule is never checked by later ones), ``hits`` by the
+        candidates it kills, and each kill lands in the prune table under
+        the first-firing rule's reason — exactly the scalar short-circuit
+        order, so ``--explain-prunes`` output is unchanged.
+        """
+        n = batch.size
+        keep = np.ones(n, dtype=bool)
+        if n == 0:
+            return keep
+        plan = self._batch_plan(
+            pattern_free_only, skip_pattern_free, batch.phase
+        )
+        alive = np.arange(n)
+        clock = time.perf_counter if self.time_rules else None
+        for rule, record, reason in plan:
+            if alive.size == 0:
+                break
+            record.checks += int(alive.size)
+            record.batched += int(alive.size)
+            if clock is not None:
+                start = clock()
+                hits = np.asarray(
+                    rule.check_batch(batch, alive), dtype=bool
+                )
+                record.seconds += clock() - start
+            else:
+                hits = np.asarray(rule.check_batch(batch, alive), dtype=bool)
+            if hits.any():
+                hit_idx = alive[hits]
+                record.hits += int(hit_idx.size)
+                keys = batch.keys
+                add = self.prune_table.add
+                for i in hit_idx:
+                    add(keys[i], reason)
+                self.stats.spaces_pruned += int(hit_idx.size)
+                keep[hit_idx] = False
+                alive = alive[~hits]
+        return keep
+
     def check_gate(self, rule: PruneRule, ctx: EvaluationContext) -> bool:
         """Run one rule as a *gate* (counted, but nothing recorded).
 
@@ -530,6 +961,13 @@ class PruningPipeline:
             stats.prune_rule_seconds[name] = (
                 stats.prune_rule_seconds.get(name, 0.0) + d_seconds
             )
+            d_batched = record.batched - (
+                previous.batched if previous else 0
+            )
+            if d_batched or name in stats.prune_rule_batched:
+                stats.prune_rule_batched[name] = (
+                    stats.prune_rule_batched.get(name, 0) + d_batched
+                )
             self._published_rules[name] = record.snapshot()
         reasons = self.prune_table.reason_counts()
         for reason, count in reasons.items():
@@ -638,14 +1076,19 @@ def format_prune_report(stats: MiningStats) -> str:
 
     One row per pipeline rule: how many candidates it saw, how many it
     cut, the wall time it cost, and the matching lookup-table reason
-    count (unique pruned keys).  The lookup table's own probe/hit tally
-    follows — table hits are candidates skipped without any rule running.
+    count (unique pruned keys).  The trailing ``mode`` column annotates
+    how the rule's checks ran — ``batch`` (all through
+    :meth:`PruningPipeline.evaluate_batch`), ``scalar`` (all
+    per-candidate), or ``mixed``; it is appended after the historical
+    columns so older report parsers keep working.  The lookup table's own
+    probe/hit tally follows — table hits are candidates skipped without
+    any rule running.
     """
     names = list(stats.prune_rule_checks)
     lines = ["Pruning pipeline (rule order = evaluation order):"]
     header = (
         f"  {'rule':<20} {'checks':>9} {'hits':>9} {'hit%':>7} "
-        f"{'time(s)':>9} {'table':>7}"
+        f"{'time(s)':>9} {'table':>7} {'mode':>7}"
     )
     lines.append(header)
     for name in names:
@@ -659,9 +1102,18 @@ def format_prune_report(stats: MiningStats) -> str:
             if reason is not None
             else "-"
         )
+        batched = stats.prune_rule_batched.get(name, 0)
+        if not checks:
+            mode = "-"
+        elif batched >= checks:
+            mode = "batch"
+        elif batched == 0:
+            mode = "scalar"
+        else:
+            mode = "mixed"
         lines.append(
             f"  {name:<20} {checks:>9} {hits:>9} {rate:>7} "
-            f"{seconds:>9.3f} {table:>7}"
+            f"{seconds:>9.3f} {table:>7} {mode:>7}"
         )
     lines.append(
         f"  lookup table: {stats.prune_table_checks} probes, "

@@ -32,16 +32,26 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from .contrast import ContrastPattern
-from .stats import difference_is_statistically_same, min_expected_count
+from .stats import (
+    clt_difference_bound,
+    clt_difference_bound_batch,
+    difference_is_statistically_same,
+    min_expected_count,
+    min_expected_count_batch,
+)
 
 __all__ = [
     "PruneReason",
     "PruneDecision",
     "PruneTable",
     "minimum_deviation_prunes",
+    "minimum_deviation_prunes_batch",
     "expected_count_prunes",
+    "expected_count_prunes_batch",
     "redundant_against_subset",
+    "redundant_against_subset_batch",
     "is_pure_space",
+    "is_pure_space_batch",
 ]
 
 
@@ -194,3 +204,89 @@ def is_pure_space(
     counts = np.asarray(counts)
     nonzero = int(np.count_nonzero(counts))
     return nonzero == 1 and int(counts.sum()) >= min_count
+
+
+# ----------------------------------------------------------------------
+# Batch variants — one boolean per row of an (N, n_groups) counts matrix.
+# Each is bit-identical to its scalar counterpart applied row by row
+# (pinned by tests/test_batch_equivalence.py).
+# ----------------------------------------------------------------------
+
+
+def minimum_deviation_prunes_batch(
+    counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    delta: float,
+) -> np.ndarray:
+    """Vectorized :func:`minimum_deviation_prunes` (prune rule 1)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    supports = np.divide(
+        counts, sizes[None, :], out=np.zeros_like(counts),
+        where=(sizes > 0)[None, :],
+    )
+    return np.all(supports <= delta, axis=1)
+
+
+def expected_count_prunes_batch(
+    counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+    minimum: float = 5.0,
+) -> np.ndarray:
+    """Vectorized :func:`expected_count_prunes` (prune rule 2)."""
+    return min_expected_count_batch(counts, group_sizes) < minimum
+
+
+def redundant_against_subset_batch(
+    supports: np.ndarray,
+    subset: ContrastPattern,
+    alpha: float,
+) -> np.ndarray:
+    """CLT redundancy test of N patterns against one shared subset.
+
+    ``supports`` holds each pattern's per-group support row (the exact
+    values ``ContrastPattern.supports`` would expose).  The SDAD-CS space
+    phase always compares every child space against the same parent
+    region, so the subset's extreme pair, difference, and CLT band are
+    computed once; only the tied-subset branch — where the scalar rule
+    falls back to each pattern's own extreme pair — needs per-row
+    gathers.
+    """
+    sup = np.asarray(supports, dtype=np.float64)
+    n, g = sup.shape
+    ss = subset.supports
+    hi = max(range(len(ss)), key=ss.__getitem__)
+    lo = min(range(len(ss)), key=ss.__getitem__)
+    if ss[hi] != ss[lo]:
+        diff_subset = ss[hi] - ss[lo]
+        diff_current = sup[:, hi] - sup[:, lo]
+        bound = clt_difference_bound(
+            ss[hi], ss[lo],
+            subset.group_sizes[hi], subset.group_sizes[lo], alpha,
+        )
+        return np.abs(diff_current - diff_subset) <= bound
+    # Tied subset: per-pattern extreme pair (first argmax / first argmin,
+    # matching Python's max()/min() over the support tuple).
+    hi_i = np.argmax(sup, axis=1)
+    lo_i = np.argmin(sup, axis=1)
+    lo_i = np.where(hi_i == lo_i, (hi_i + 1) % g, lo_i)
+    ss_arr = np.asarray(ss, dtype=np.float64)
+    sn_arr = np.asarray(subset.group_sizes, dtype=np.float64)
+    s_hi = ss_arr[hi_i]
+    s_lo = ss_arr[lo_i]
+    rows = np.arange(n)
+    diff_current = sup[rows, hi_i] - sup[rows, lo_i]
+    diff_subset = s_hi - s_lo
+    bound = clt_difference_bound_batch(
+        s_hi, s_lo, sn_arr[hi_i], sn_arr[lo_i], alpha
+    )
+    return np.abs(diff_current - diff_subset) <= bound
+
+
+def is_pure_space_batch(
+    counts: np.ndarray, min_count: int = 1
+) -> np.ndarray:
+    """Vectorized :func:`is_pure_space` (prune rule 5)."""
+    counts = np.asarray(counts)
+    nonzero = np.count_nonzero(counts, axis=1)
+    return (nonzero == 1) & (counts.sum(axis=1) >= min_count)

@@ -27,11 +27,15 @@ import numpy as np
 
 from ..dataset.table import Dataset
 from . import measures
+from .batch import BatchEvaluator
 from .config import MinerConfig
 from .contrast import ContrastPattern
 from .instrumentation import MiningStats
 from .items import Itemset
-from .optimistic import support_difference_estimate
+from .optimistic import (
+    support_difference_estimate,
+    support_difference_estimate_batch,
+)
 from .partition import (
     Space,
     are_contiguous,
@@ -76,6 +80,7 @@ class _SDADRun:
         base_level: int = 0,
         known_pure: Sequence[Itemset] = (),
         backend=None,
+        evaluator: BatchEvaluator | None = None,
     ) -> None:
         self.dataset = dataset
         self.categorical = categorical
@@ -95,6 +100,17 @@ class _SDADRun:
             backend = MaskBackend(dataset)
         self.backend = backend
         self.measure = measures.get(config.interest_measure)
+        # Vectorized per-frame driver (DESIGN.md §12); None = scalar path.
+        # The outer search passes one long-lived evaluator so its
+        # dataset-level caches (attribute ranges) span all runs.
+        if not config.batch_evaluation:
+            self.batch = None
+        elif evaluator is not None:
+            self.batch = evaluator
+        else:
+            self.batch = BatchEvaluator(
+                dataset, pipeline, self.backend, config.interest_measure
+            )
         self.result = SDADResult()
         self.pattern_level = base_level + len(self.continuous)
         self.root_intervals: dict[str, object] = {}
@@ -139,13 +155,23 @@ class _SDADRun:
         splits = {}
         for name in self.continuous:
             halves = partition_median(
-                self.dataset, space, name, self.config.split_statistic
+                self.dataset,
+                space,
+                name,
+                self.config.split_statistic,
+                fast=self.batch is not None,
             )
             if halves is not None:
                 splits[name] = halves
         if not splits:
             return []
-        return find_combinations(self.dataset, space, splits, self.backend)
+        return find_combinations(
+            self.dataset,
+            space,
+            splits,
+            self.backend,
+            batch_counts=self.batch is not None,
+        )
 
     # -- the recursion ----------------------------------------------------
 
@@ -157,7 +183,15 @@ class _SDADRun:
             else np.ones(self.dataset.n_rows, dtype=bool)
         )
         root = full_space(
-            self.dataset, self.continuous, context_mask, self.backend
+            self.dataset,
+            self.continuous,
+            context_mask,
+            self.backend,
+            ranges=(
+                {name: self.batch.range_of(name) for name in self.continuous}
+                if self.batch is not None
+                else None
+            ),
         )
         if root.total_count == 0:
             return self.result
@@ -186,7 +220,11 @@ class _SDADRun:
         return self.measure(self._pattern_of(space))
 
     def _explore(
-        self, region: Space, level: int, parent_measure: float
+        self,
+        region: Space,
+        level: int,
+        parent_measure: float,
+        prefetched: tuple[list[Space], list] | None = None,
     ) -> list[Space]:
         """Recursive body of Algorithm 1.
 
@@ -199,42 +237,148 @@ class _SDADRun:
         applied: two pure sibling half-boxes may individually score below
         their parent yet merge into a region that clearly beats it (this
         is how the walkthrough of Figure 2 arrives at its final panel).
+
+        ``prefetched`` carries this frame's child spaces and their
+        verdicts when the parent frame already scored them as part of a
+        sibling mega-batch (see below); every verdict is identical to
+        what this frame would have computed itself.
         """
-        spaces = self._split_space(region)
+        if prefetched is not None:
+            spaces, verdicts = prefetched
+        else:
+            spaces = self._split_space(region)
+            verdicts = None
         if not spaces:
             return []
         alpha = self._alpha(level)
         contrasts_here: list[Space] = []
         from_children: list[Space] = []
 
-        region_pattern = self._pattern_of(region)
-        for space in spaces:
-            if self._can_prune(space, region_pattern, alpha):
-                continue
-            self.stats.partitions_evaluated += 1
-            pattern = self._pattern_of(space)
-            interest = self.measure(pattern)
-            pure = is_pure_space(space.counts)
-            is_contrast = pattern.is_contrast(self.config.delta, alpha)
+        if self.batch is not None:
+            # Whole-frame batch: lookup table, rule chain, and verdicts
+            # for every sibling in one array program.  Sibling keys are
+            # distinct and every space-phase rule reads only frame-frozen
+            # state, so this reproduces the scalar order exactly.
+            if verdicts is None:
+                verdicts = self.batch.score_spaces(
+                    spaces,
+                    categorical=self.categorical,
+                    alpha=alpha,
+                    level=self.pattern_level,
+                    threshold=self.min_interest,
+                    known_pure=self.known_pure,
+                    region=region,
+                    pattern_of=self._pattern_of,
+                )
+            survivors = [
+                (space, verdict)
+                for space, verdict in zip(spaces, verdicts)
+                if verdict is not None
+            ]
+        else:
+            region_pattern = self._pattern_of(region)
+            survivors = []
+            for space in spaces:
+                if self._can_prune(space, region_pattern, alpha):
+                    continue
+                self.stats.partitions_evaluated += 1
+                survivors.append((space, None))
+
+        # First pass: verdict fields and the recursion decision per
+        # surviving space.  Everything here is a pure function of the
+        # space and run-frozen state, so hoisting it out of the recursion
+        # loop changes no results.  Interests are memoized by object
+        # identity — the Dtemp comparisons below would otherwise
+        # re-derive them.
+        interest_of: dict[int, float] = {}
+        plans: list[tuple[Space, object, float, bool, bool, bool]] = []
+        opt_ok = self._optimistic_allows_many(
+            [space for space, _ in survivors], level
+        )
+        for k, (space, verdict) in enumerate(survivors):
+            pattern = None
+            if verdict is None:
+                pattern = self._pattern_of(space)
+                interest = self.measure(pattern)
+                pure = is_pure_space(space.counts)
+                is_contrast = pattern.is_contrast(self.config.delta, alpha)
+            else:
+                interest = (
+                    verdict.interest
+                    if verdict.interest is not None
+                    else self._interest_of(space)
+                )
+                pure = verdict.pure
+                is_contrast = verdict.is_contrast
+            interest_of[id(space)] = interest
+            recurse = (
+                level < self.config.max_split_depth
+                and not (pure and self.config.prune_pure_space)
+                and opt_ok[k]
+            )
+            plans.append(
+                (space, pattern, interest, pure, is_contrast, recurse)
+            )
+
+        # Sibling prefetch (batch mode): split every recursing sibling
+        # now and score all their children as one mega-batch.  The child
+        # frames then consume their precomputed verdicts in the exact
+        # DFS order below — keys within a run are pairwise distinct and
+        # known_pure/threshold are run-frozen, so every probe, rule
+        # check, and stats increment lands exactly as the sequential
+        # per-frame order would (sums and distinct-key table adds are
+        # order-independent).
+        prefetch: dict[int, tuple[list[Space], list]] = {}
+        if self.batch is not None and level < self.config.max_split_depth:
+            recursing = [plan[0] for plan in plans if plan[5]]
+            if len(recursing) > 1:
+                child_lists = [
+                    self._split_space(space) for space in recursing
+                ]
+                frames = [
+                    (children, space)
+                    for space, children in zip(recursing, child_lists)
+                    if children
+                ]
+                if frames:
+                    frame_verdicts = self.batch.score_frames(
+                        frames,
+                        categorical=self.categorical,
+                        alpha=self._alpha(level + 1),
+                        level=self.pattern_level,
+                        threshold=self.min_interest,
+                        known_pure=self.known_pure,
+                        pattern_of=self._pattern_of,
+                    )
+                    for (children, space), verdict_list in zip(
+                        frames, frame_verdicts
+                    ):
+                        prefetch[id(space)] = (children, verdict_list)
+                for space, children in zip(recursing, child_lists):
+                    if not children:
+                        prefetch[id(space)] = ([], [])
+
+        for space, pattern, interest, pure, is_contrast, recurse in plans:
             if is_contrast and self.config.report_all_spaces:
                 # NP mode records every contrast space, including ones
                 # later superseded by their children or left in Dtemp.
                 self.all_contrasts.append(space)
 
             child_found: list[Space] = []
-            recurse_ok = (
-                level < self.config.max_split_depth
-                and not (pure and self.config.prune_pure_space)
-            )
-            if recurse_ok and self._optimistic_allows(space, level):
+            if recurse:
                 child_found = self._explore(
-                    space, level + 1, parent_measure=interest
+                    space,
+                    level + 1,
+                    parent_measure=interest,
+                    prefetched=prefetch.get(id(space)),
                 )
             if child_found:
                 from_children.extend(child_found)
                 continue
 
             if pure and is_contrast:
+                if pattern is None:
+                    pattern = self._pattern_of(space)
                 self.result.pure_itemsets.append(pattern.itemset)
             if is_contrast:
                 contrasts_here.append(space)
@@ -242,14 +386,16 @@ class _SDADRun:
         if self.config.merge and contrasts_here:
             contrasts_here = self._merge(contrasts_here)
 
-        better = [
-            s for s in contrasts_here if self._interest_of(s) > parent_measure
-        ]
-        deferred = [
-            s
-            for s in contrasts_here
-            if self._interest_of(s) <= parent_measure
-        ]  # Dtemp
+        better: list[Space] = []
+        deferred: list[Space] = []  # Dtemp
+        for space in contrasts_here:
+            interest = interest_of.get(id(space))
+            if interest is None:  # merged spaces are new objects
+                interest = self._interest_of(space)
+            if interest > parent_measure:
+                better.append(space)
+            else:
+                deferred.append(space)
         found = from_children + better
         if found:
             return found + deferred  # Algorithm 1 lines 22-23
@@ -280,6 +426,36 @@ class _SDADRun:
             len(self.continuous),
         )
         return estimate > self.min_interest
+
+    def _optimistic_allows_many(
+        self, spaces: list[Space], level: int
+    ) -> list[bool]:
+        """Per-space :meth:`_optimistic_allows` in one kernel call.
+
+        The gate is a pure function of each space's counts and run-frozen
+        state, and the batch estimate is bit-identical per row, so the
+        returned list matches the scalar calls element for element.
+        """
+        if not spaces:
+            return []
+        if (
+            not self.config.prune_optimistic
+            or self.config.interest_measure
+            not in self._DIFF_BOUNDED_MEASURES
+        ):
+            return [True] * len(spaces)
+        if self.batch is None or len(spaces) == 1:
+            return [
+                self._optimistic_allows(space, level) for space in spaces
+            ]
+        estimates = support_difference_estimate_batch(
+            np.stack([space.counts for space in spaces]),
+            self.dataset.group_sizes,
+            self.db_size,
+            level,
+            len(self.continuous),
+        )
+        return [bool(e > self.min_interest) for e in estimates]
 
     def _can_prune(
         self, space: Space, parent: ContrastPattern, alpha: float
@@ -369,6 +545,7 @@ def sdad_cs(
     known_pure: Sequence[Itemset] = (),
     backend=None,
     pipeline: PruningPipeline | None = None,
+    evaluator: BatchEvaluator | None = None,
 ) -> SDADResult:
     """Run SDAD-CS for one attribute combination.
 
@@ -401,6 +578,11 @@ def sdad_cs(
         Optional :class:`repro.counting.CountingBackend` that performs all
         support counting (context coverage and per-space group counts);
         defaults to a fresh mask backend.
+    evaluator:
+        Optional shared :class:`~repro.core.batch.BatchEvaluator` (built
+        around the same pipeline and backend) so dataset-level caches
+        survive across runs; only consulted when
+        ``config.batch_evaluation`` is on.
 
     Returns
     -------
@@ -434,6 +616,7 @@ def sdad_cs(
         base_level=base_level,
         known_pure=known_pure,
         backend=backend,
+        evaluator=evaluator,
     )
     result = run.run()
     if own_pipeline:

@@ -22,12 +22,16 @@ from scipy import stats as _scipy_stats
 __all__ = [
     "ChiSquareResult",
     "chi_square_independence",
+    "chi_square_counts",
+    "chi_square_counts_batch",
     "contingency_from_counts",
     "fisher_exact_2x2",
     "expected_counts",
     "min_expected_count",
+    "min_expected_count_batch",
     "AlphaLadder",
     "clt_difference_bound",
+    "clt_difference_bound_batch",
     "difference_is_statistically_same",
     "mann_whitney_u",
 ]
@@ -114,6 +118,129 @@ def chi_square_independence(
     return ChiSquareResult(statistic, p_value, dof)
 
 
+def _batch_count_arrays(
+    in_counts: np.ndarray, group_sizes: Sequence[int] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and float-convert an ``(N, G)`` counts matrix + sizes."""
+    counts = np.asarray(in_counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError("batch counts must be 2-dimensional (N, n_groups)")
+    if sizes.shape != (counts.shape[1],):
+        raise ValueError("in_counts and group_sizes must align")
+    if np.any(counts > sizes[None, :]):
+        raise ValueError("count exceeds group size")
+    return counts, sizes
+
+
+def chi_square_counts_batch(
+    in_counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chi-square independence test for N contingency rows at once.
+
+    Row ``i`` of ``in_counts`` is one itemset's per-group covered counts;
+    the test is run on each implied ``2 x G`` table exactly as
+    ``chi_square_independence(contingency_from_counts(row, sizes))`` would
+    — every floating-point reduction mirrors the scalar op sequence
+    (same pairwise summation over the same element order), so results are
+    bit-identical, not merely close.  Returns ``(statistic, p_value,
+    dof)`` vectors; degenerate rows get ``(0.0, 1.0, 0)``.
+    """
+    counts, sizes = _batch_count_arrays(in_counts, group_sizes)
+    n = counts.shape[0]
+    stat = np.zeros(n, dtype=np.float64)
+    p = np.ones(n, dtype=np.float64)
+    dof = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return stat, p, dof
+    # A column's marginal is count + (size - count) == size exactly, so
+    # the scalar path's column-drop mask is constant across the batch.
+    col_keep = sizes > 0
+    if not col_keep.all():
+        counts = np.ascontiguousarray(counts[:, col_keep])
+        sizes = sizes[col_keep]
+    g = counts.shape[1]
+    if g < 2:
+        return stat, p, dof
+    # Every intermediate marginal here is a sum of integer-valued
+    # float64s, hence exact regardless of reduction order: the column
+    # marginal ``count + (size - count)`` is ``size``, and the table
+    # total is ``sizes.sum()`` — both constant across the batch — while
+    # the row marginal r1 is ``total - r0``.  Using the closed forms
+    # skips two (N, G) temporaries and the concatenated total reduction
+    # while producing bit-identical expected counts.
+    total = float(sizes.sum())
+    r0 = counts.sum(axis=1)
+    valid = (r0 > 0) & (r0 < total)
+    if not valid.any():
+        return stat, p, dof
+    if not valid.all():
+        counts = counts[valid]
+        r0 = r0[valid]
+    rest = sizes[None, :] - counts
+    r1 = total - r0
+    # On valid rows both row marginals are positive and every kept column
+    # size is positive, so the expected counts are strictly positive —
+    # no division guard needed.
+    e0 = r0[:, None] * sizes[None, :] / total
+    e1 = r1[:, None] * sizes[None, :] / total
+    d0 = np.abs(counts - e0)
+    d1 = np.abs(rest - e1)
+    # Flattened (2, G) C-order is [row0..., row1...]; laying the terms
+    # out contiguously in that order reproduces the element order of the
+    # scalar ``(diff**2 / expected).sum()`` pairwise reduction.
+    terms = np.empty((counts.shape[0], 2 * g), dtype=np.float64)
+    terms[:, :g] = d0**2 / e0
+    terms[:, g:] = d1**2 / e1
+    s = terms.sum(axis=1)
+    stat[valid] = s
+    dof[valid] = g - 1
+    p[valid] = _scipy_special.chdtrc(g - 1, s)
+    return stat, p, dof
+
+
+def chi_square_counts(
+    in_counts: Sequence[int] | np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> ChiSquareResult:
+    """Scalar wrapper over :func:`chi_square_counts_batch` (N = 1)."""
+    stat, p, dof = chi_square_counts_batch(
+        np.asarray(in_counts, dtype=np.float64)[None, :], group_sizes
+    )
+    return ChiSquareResult(float(stat[0]), float(p[0]), int(dof[0]))
+
+
+def min_expected_count_batch(
+    in_counts: np.ndarray,
+    group_sizes: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Smallest expected cell count for N contingency rows at once.
+
+    Bit-identical to ``min_expected_count(row, sizes)`` per row: the
+    expected counts are computed over the *full* (undropped) table, as the
+    scalar path does.
+    """
+    counts, sizes = _batch_count_arrays(in_counts, group_sizes)
+    n = counts.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    # The full-table column marginal of column g is exactly ``sizes[g]``
+    # and the table total is exactly ``sizes.sum()`` (sums of
+    # integer-valued float64s are order-independent and exact), so the
+    # expected counts are ``r * sizes[g] / total`` — monotone in
+    # ``sizes[g]`` for either row marginal ``r >= 0``.  The smallest
+    # expected cell is therefore ``min(r0, r1) * sizes.min() / total``,
+    # computed with the same multiply-then-divide the full matrix would
+    # apply to that cell: bit-identical, in O(N) instead of O(N x G).
+    total = float(sizes.sum())
+    if total <= 0:
+        return np.zeros(n, dtype=np.float64)
+    r0 = counts.sum(axis=1)
+    r1 = total - r0
+    return np.minimum(r0, r1) * float(sizes.min()) / total
+
+
 def fisher_exact_2x2(table: np.ndarray) -> float:
     """Two-sided Fisher exact test p-value for a 2x2 table.
 
@@ -185,6 +312,31 @@ def clt_difference_bound(
     a = supp_x * (1.0 - supp_x) / n_x
     b = supp_y * (1.0 - supp_y) / n_y
     return _z_quantile(alpha) * math.sqrt(a + b)
+
+
+def clt_difference_bound_batch(
+    supp_x: np.ndarray,
+    supp_y: np.ndarray,
+    n_x: np.ndarray,
+    n_y: np.ndarray,
+    alpha: float = 0.05,
+) -> np.ndarray:
+    """Vectorized :func:`clt_difference_bound` over aligned arrays.
+
+    All inputs broadcast; elements with a non-positive sample size get an
+    infinite bound, exactly like the scalar function.  IEEE-754 gives the
+    same double result for the same op sequence, so each element is
+    bit-identical to its scalar counterpart.
+    """
+    sx = np.asarray(supp_x, dtype=np.float64)
+    sy = np.asarray(supp_y, dtype=np.float64)
+    nx = np.asarray(n_x, dtype=np.float64)
+    ny = np.asarray(n_y, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        a = sx * (1.0 - sx) / nx
+        b = sy * (1.0 - sy) / ny
+        out = _z_quantile(alpha) * np.sqrt(a + b)
+    return np.where((nx <= 0) | (ny <= 0), math.inf, out)
 
 
 def difference_is_statistically_same(

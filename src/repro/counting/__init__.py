@@ -45,8 +45,15 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(BACKENDS))
 
 
-def make_backend(name: str, dataset, **kwargs) -> CountingBackend:
-    """Instantiate a registered backend for a dataset."""
+def make_backend(
+    name: str, dataset, *, cache_size: int | None = None
+) -> CountingBackend:
+    """Instantiate a registered backend for a dataset.
+
+    ``name`` and ``dataset`` are the identity of the backend and stay
+    positional; every option is keyword-only (this signature is the
+    formal API — see DESIGN.md §12).
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -54,7 +61,9 @@ def make_backend(name: str, dataset, **kwargs) -> CountingBackend:
             f"unknown counting backend {name!r}; "
             f"available: {', '.join(available_backends())}"
         ) from None
-    return cls(dataset, **kwargs)
+    if cache_size is None:
+        return cls(dataset)
+    return cls(dataset, cache_size=cache_size)
 
 
 def backend_from_config(config, dataset) -> CountingBackend:
@@ -79,7 +88,7 @@ def backend_from_config(config, dataset) -> CountingBackend:
             inner=config.counting_backend,
             cache_size=config.backend_cache_size,
         )
-    kwargs = {}
-    if config.backend_cache_size is not None:
-        kwargs["cache_size"] = config.backend_cache_size
-    return make_backend(config.counting_backend, dataset, **kwargs)
+    return make_backend(
+        config.counting_backend, dataset,
+        cache_size=config.backend_cache_size,
+    )

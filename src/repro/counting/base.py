@@ -1,4 +1,4 @@
-"""The counting-backend protocol.
+"""The counting-backend protocol — the single documented counting ABC.
 
 Every miner in this package reduces to one operation: given an itemset (or
 an arbitrary boolean row mask), produce the per-group covered counts — the
@@ -10,17 +10,37 @@ that row is computed, so the search layers (`core.search`, `core.sdad`,
   columns, the historical reference path;
 * :class:`~repro.counting.bitmap.BitmapBackend` — packed bit-vectors with
   per-group popcounts (SciCSM-style, related work [29]) and an LRU cache
-  of categorical-context coverage vectors.
+  of categorical-context coverage vectors;
+* :class:`~repro.counting.chunked.ChunkedBackend` — per-chunk counts over
+  an out-of-core :class:`~repro.dataset.chunked.ChunkedView`, summed.
 
-Backends also self-instrument: every counting call and every context-cache
-hit/miss is tallied and published into :class:`~repro.core.instrumentation.
-MiningStats` so the ablation benches can attribute wall-clock wins.
+The protocol has two counting granularities:
+
+``group_counts(itemset)``
+    one candidate → one ``(n_groups,)`` int64 row (scalar path);
+``group_counts_batch(itemsets)``
+    N candidates → one ``(N, n_groups)`` int64 matrix (batch path).
+
+Every backend accepts batches: :class:`CountingBackendBase` provides a
+per-candidate fallback that stacks ``group_counts`` rows, and backends
+that can do better (bitmap: one packed-AND + popcount sweep; chunked:
+chunk-outer iteration with the digest-keyed cache intact) override it.
+The class attribute :attr:`CountingBackendBase.supports_batch` advertises
+whether the override exists; callers never need to check it for
+correctness — only to predict performance.  Candidates routed through the
+fallback are tallied in ``batch_fallbacks``.
+
+Backends also self-instrument: every counting call (a batch of N counts
+as N calls, so scalar and batch drivers report comparable totals), every
+context-cache hit/miss, and every batch invocation is tallied and
+published into :class:`~repro.core.instrumentation.MiningStats` so the
+ablation benches can attribute wall-clock wins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -43,12 +63,18 @@ class BackendCounters:
     count_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    batch_calls: int = 0
+    batched_candidates: int = 0
+    batch_fallbacks: int = 0
 
     def __sub__(self, other: "BackendCounters") -> "BackendCounters":
         return BackendCounters(
             count_calls=self.count_calls - other.count_calls,
             cache_hits=self.cache_hits - other.cache_hits,
             cache_misses=self.cache_misses - other.cache_misses,
+            batch_calls=self.batch_calls - other.batch_calls,
+            batched_candidates=self.batched_candidates - other.batched_candidates,
+            batch_fallbacks=self.batch_fallbacks - other.batch_fallbacks,
         )
 
     def __add__(self, other: "BackendCounters") -> "BackendCounters":
@@ -56,6 +82,9 @@ class BackendCounters:
             count_calls=self.count_calls + other.count_calls,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            batch_calls=self.batch_calls + other.batch_calls,
+            batched_candidates=self.batched_candidates + other.batched_candidates,
+            batch_fallbacks=self.batch_fallbacks + other.batch_fallbacks,
         )
 
 
@@ -65,9 +94,19 @@ class CountingBackend(Protocol):
 
     name: str
     dataset: "Dataset"
+    supports_batch: bool
 
     def group_counts(self, itemset: "Itemset") -> np.ndarray:
         """Per-group covered counts of an itemset (Eq. 1 numerators)."""
+        ...
+
+    def group_counts_batch(
+        self, itemsets: Sequence["Itemset"] | Iterable["Itemset"]
+    ) -> np.ndarray:
+        """Per-group counts of N itemsets as one ``(N, n_groups)`` matrix.
+
+        Row ``i`` equals ``group_counts(itemsets[i])`` exactly.
+        """
         ...
 
     def cover(self, itemset: "Itemset") -> np.ndarray:
@@ -88,22 +127,55 @@ class CountingBackend(Protocol):
 
 
 class CountingBackendBase:
-    """Counter plumbing shared by the concrete backends."""
+    """Counter plumbing and the batch fallback shared by concrete backends."""
 
     name: str = "abstract"
+    supports_batch: bool = False
+    """True when ``group_counts_batch`` is a native stacked implementation
+    rather than the per-candidate fallback below."""
 
     def __init__(self, dataset: "Dataset") -> None:
         self.dataset = dataset
         self.count_calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.batch_calls = 0
+        self.batched_candidates = 0
+        self.batch_fallbacks = 0
         self._published = BackendCounters()
+
+    def group_counts(self, itemset: "Itemset") -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def group_counts_batch(
+        self, itemsets: Sequence["Itemset"] | Iterable["Itemset"]
+    ) -> np.ndarray:
+        """Default per-candidate fallback: stack scalar ``group_counts`` rows.
+
+        Guarantees ``out[i] == group_counts(itemsets[i])`` for any backend.
+        Each candidate routed through here is tallied as a
+        ``batch_fallbacks`` so summaries show when the fast path is absent.
+        """
+        items = list(itemsets)
+        self.batch_calls += 1
+        self.batched_candidates += len(items)
+        self.batch_fallbacks += len(items)
+        if not items:
+            return np.zeros((0, self.dataset.n_groups), dtype=np.int64)
+        rows = [
+            np.asarray(self.group_counts(itemset), dtype=np.int64)
+            for itemset in items
+        ]
+        return np.stack(rows)
 
     def counters(self) -> BackendCounters:
         return BackendCounters(
             count_calls=self.count_calls,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            batch_calls=self.batch_calls,
+            batched_candidates=self.batched_candidates,
+            batch_fallbacks=self.batch_fallbacks,
         )
 
     def publish(self, stats: "MiningStats") -> None:
@@ -120,3 +192,6 @@ class CountingBackendBase:
         stats.count_calls += delta.count_calls
         stats.cache_hits += delta.cache_hits
         stats.cache_misses += delta.cache_misses
+        stats.batch_calls += delta.batch_calls
+        stats.batched_candidates += delta.batched_candidates
+        stats.batch_fallbacks += delta.batch_fallbacks

@@ -113,6 +113,7 @@ class ChunkedBackend(CountingBackendBase):
     """
 
     name = "chunked"
+    supports_batch = True
 
     def __init__(
         self,
@@ -186,6 +187,46 @@ class ChunkedBackend(CountingBackendBase):
                 self._counts_cache.popitem(last=False)
             total += counts
         return total
+
+    def group_counts_batch(self, itemsets) -> np.ndarray:
+        """Batch counts with one pass over the chunks.
+
+        Iterating chunk-outer / itemset-inner keeps each chunk's
+        memory-mapped columns (or bits-only index) hot while the whole
+        batch is counted against it, instead of touching every chunk once
+        per candidate.  The ``(chunk digest, itemset)`` LRU is shared with
+        the scalar path, so warm entries hit regardless of which path
+        filled them.
+        """
+        items = list(itemsets)
+        self.batch_calls += 1
+        self.batched_candidates += len(items)
+        self.count_calls += len(items)
+        view: ChunkedView = self.dataset
+        out = np.zeros((len(items), view.n_groups), dtype=np.int64)
+        if not items:
+            return out
+        categorical_only = [
+            all(isinstance(item, CategoricalItem) for item in itemset)
+            for itemset in items
+        ]
+        for meta, index in zip(view.chunk_metas(), view.chunk_indices):
+            for i, itemset in enumerate(items):
+                key = (meta.digest, itemset)
+                cached = self._counts_cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    self._counts_cache.move_to_end(key)
+                    out[i] += cached
+                    continue
+                self.cache_misses += 1
+                counts = self._chunk_counts(meta, index, itemset,
+                                            categorical_only[i])
+                self._counts_cache[key] = counts
+                if len(self._counts_cache) > self.cache_size:
+                    self._counts_cache.popitem(last=False)
+                out[i] += counts
+        return out
 
     def cover(self, itemset: Itemset) -> np.ndarray:
         view: ChunkedView = self.dataset

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core import measures
+from ..core.batch import BatchEvaluator
 from ..core.config import MinerConfig
 from ..core.contrast import ContrastPattern
 from ..core.instrumentation import MiningStats, Stopwatch
@@ -187,25 +188,42 @@ def _execute_task(
             for value in attr.categories
         ]
         stats.candidates_generated += len(candidates)
-        for itemset in candidates:
-            result = process_categorical_candidate(
-                itemset,
-                dataset,
-                pipeline,
+        if config.batch_evaluation:
+            # One batch per task: a task is exactly one attribute
+            # combination, so this mirrors the serial engine's per-combo
+            # batching (and its accounting) precisely.
+            evaluator = BatchEvaluator(dataset, pipeline, backend)
+            results = evaluator.process_categorical_combo(
+                candidates,
                 alpha=task.alpha,
                 level=level,
                 subset_patterns=task.subset_patterns,
                 known_pure=known_pure,
-                backend=backend,
                 threshold=task.min_interest,
             )
+        else:
+            results = (
+                process_categorical_candidate(
+                    itemset,
+                    dataset,
+                    pipeline,
+                    alpha=task.alpha,
+                    level=level,
+                    subset_patterns=task.subset_patterns,
+                    known_pure=known_pure,
+                    backend=backend,
+                    threshold=task.min_interest,
+                )
+                for itemset in candidates
+            )
+        for result in results:
             if result is None:
                 continue
-            outcome.viable_contexts.append(itemset)
+            outcome.viable_contexts.append(result.itemset)
             outcome.viable_patterns.append(result.pattern)
             if result.is_pure:
-                known_pure.append(itemset)
-                outcome.pure_itemsets.append(itemset)
+                known_pure.append(result.itemset)
+                outcome.pure_itemsets.append(result.itemset)
             if result.is_contrast:
                 outcome.patterns.append(result.pattern)
 
