@@ -379,6 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-hash every chunk file against the manifest digests",
     )
 
+    ds_verify = ds_sub.add_parser(
+        "verify",
+        help=(
+            "re-hash every chunk against the manifest digests; exits 2 "
+            "if any chunk is corrupt"
+        ),
+    )
+    ds_verify.add_argument("store", metavar="DIR", help="chunked dataset")
+
     generate = sub.add_parser(
         "generate", help="write a built-in dataset to CSV"
     )
@@ -661,6 +670,26 @@ def _cmd_dataset(args) -> int:
                 f"  {meta.chunk_id}  {meta.n_rows:8d} rows  "
                 f"digest {meta.digest[:12]}"
             )
+        return 0
+
+    if args.dataset_command == "verify":
+        store = ChunkedDataset(args.store)
+        bad = 0
+        for meta, error in store.verify_chunks():
+            status = "ok" if error is None else f"CORRUPT  {error}"
+            print(
+                f"{meta.chunk_id}  {meta.n_rows:8d} rows  "
+                f"digest {meta.digest[:12]}  {status}"
+            )
+            if error is not None:
+                bad += 1
+        if bad:
+            print(
+                f"error: {bad} of {store.n_chunks} chunks corrupt",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"verified {store.n_chunks} chunks: all digests match")
         return 0
 
     if args.dataset_command == "pack":

@@ -2,6 +2,7 @@
 
 from .config import MinerConfig
 from .contrast import ContrastPattern, evaluate_itemset
+from .cover import Cover
 from .items import CategoricalItem, Interval, Item, Itemset, NumericItem
 from .pipeline import (
     EvaluationContext,
@@ -16,6 +17,7 @@ from .topk import TopKList
 __all__ = [
     "MinerConfig",
     "ContrastPattern",
+    "Cover",
     "evaluate_itemset",
     "CategoricalItem",
     "Interval",

@@ -7,32 +7,81 @@ combinations of the halves (``find_combs(p)``, line 5).  After the search,
 contiguous similar spaces are merged bottom-up, smallest hyper-volume first
 (lines 26-29).
 
-A :class:`Space` is the box plus its boolean coverage mask over the original
-dataset (the mask already includes any categorical context items), so
-counting per-group membership in a space is a single ``bincount``.
+A :class:`Space` is the box plus its row coverage over the original
+dataset (the coverage already includes any categorical context items), so
+counting per-group membership in a space is one counting-backend call.
+Coverage is held as a :class:`~repro.core.cover.Cover` — a packed
+per-chunk bitset — so search state costs ``n_rows / 8`` bytes per space
+and every intersection here runs on packed words.  Dense in-memory
+datasets are the one-chunk special case; out-of-core
+:class:`~repro.dataset.chunked.ChunkedView` datasets keep the working set
+at O(chunk) because columns are only ever touched one chunk at a time
+(DESIGN.md §13).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
 from ..dataset.table import Dataset
+from .cover import Cover
 from .items import Interval, Itemset, NumericItem
 
 __all__ = [
     "AttributeRange",
     "Space",
+    "dataset_chunk_sizes",
     "full_space",
     "partition_median",
     "find_combinations",
     "are_contiguous",
     "merged_space",
 ]
+
+
+#: Spaces with at most this many covered rows gather their in-space
+#: values into one array for the split statistic (bit-identical to the
+#: historical dense reduction); larger multi-chunk spaces use the
+#: streaming exact-selection path so no full-length gather is ever
+#: materialised.  Module-level so tests and benches can force either path.
+MEDIAN_GATHER_BUDGET = 4_194_304
+
+#: The streaming selector stops narrowing once the candidate window holds
+#: at most this many values and finishes with one bounded gather +
+#: introselect (the exactness fallback — also the escape hatch if pivot
+#: narrowing ever stalls).
+_STREAM_GATHER_FALLBACK = 2_097_152
+
+#: Hard cap on narrowing passes before falling back to a gather.
+_STREAM_MAX_PASSES = 64
+
+
+def dataset_chunk_sizes(dataset: Dataset) -> tuple[int, ...]:
+    """Per-chunk row counts of a dataset (``(n_rows,)`` when dense)."""
+    metas = getattr(dataset, "chunk_metas", None)
+    if metas is None:
+        return (dataset.n_rows,)
+    return tuple(m.n_rows for m in metas())
+
+
+def _iter_chunk_columns(dataset: Dataset, name: str) -> Iterator[np.ndarray]:
+    """Yield one canonical-dtype value array per chunk, in chunk order.
+
+    Concatenating the yields equals ``dataset.column(name)`` exactly; a
+    chunked view serves each chunk straight from its memory-mapped file
+    so no full-length column is ever resident here.
+    """
+    per_chunk = getattr(dataset, "iter_chunk_columns", None)
+    if per_chunk is None:
+        yield dataset.column(name)
+    else:
+        yield from per_chunk(name)
 
 
 @dataclass(frozen=True)
@@ -61,13 +110,19 @@ class AttributeRange:
 
     @staticmethod
     def of(dataset: Dataset, attribute: str) -> "AttributeRange":
-        values = dataset.column(attribute)
-        finite = values[~np.isnan(values)] if values.size else values
-        if finite.size == 0:
+        # Chunk-wise min/max merge: identical to the dense reduction
+        # (min of per-chunk minima is the global minimum) without ever
+        # gathering the full column.
+        lo = math.inf
+        hi = -math.inf
+        for values in _iter_chunk_columns(dataset, attribute):
+            finite = values[~np.isnan(values)] if values.size else values
+            if finite.size:
+                lo = min(lo, float(finite.min()))
+                hi = max(hi, float(finite.max()))
+        if hi < lo:  # no finite values anywhere
             return AttributeRange(attribute, 0.0, 0.0)
-        return AttributeRange(
-            attribute, float(finite.min()), float(finite.max())
-        )
+        return AttributeRange(attribute, lo, hi)
 
 
 class Space:
@@ -77,32 +132,47 @@ class Space:
     ----------
     intervals:
         One :class:`Interval` per continuous attribute of the box.
-    mask:
-        Boolean coverage over the *original* dataset rows.  It must already
-        include the categorical context (the itemset ``c`` that SDAD-CS was
-        called with), so per-group counting needs no further filtering.
+    cover:
+        Row coverage over the *original* dataset as a :class:`Cover`
+        (a dense boolean array is accepted and packed as one chunk).
+        It must already include the categorical context (the itemset
+        ``c`` that SDAD-CS was called with), so per-group counting needs
+        no further filtering.
     counts:
-        Per-group row counts inside the mask.
+        Per-group row counts inside the cover.
     ranges:
         Full attribute ranges, for hyper-volume normalisation.
     """
 
-    __slots__ = ("intervals", "mask", "counts", "_ranges", "_volume")
+    __slots__ = ("intervals", "cover", "counts", "_ranges", "_volume")
 
     def __init__(
         self,
         intervals: Mapping[str, Interval],
-        mask: np.ndarray,
+        cover: Cover | np.ndarray,
         counts: np.ndarray,
         ranges: Mapping[str, AttributeRange],
     ) -> None:
         self.intervals: dict[str, Interval] = dict(
             sorted(intervals.items())
         )
-        self.mask = mask
+        if not isinstance(cover, Cover):
+            cover = Cover.from_dense(np.asarray(cover, dtype=bool))
+        self.cover = cover
         self.counts = np.asarray(counts, dtype=np.int64)
         self._ranges = dict(ranges)
         self._volume: float | None = None
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Deprecated dense coverage mask (densifies the packed cover)."""
+        warnings.warn(
+            "Space.mask is deprecated; use Space.cover (packed per-chunk "
+            "bitset) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cover.to_dense()
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -156,7 +226,7 @@ class Space:
 def full_space(
     dataset: Dataset,
     attributes: Sequence[str],
-    context_mask: np.ndarray,
+    context_cover: Cover | np.ndarray,
     backend=None,
     *,
     ranges: Mapping[str, AttributeRange] | None = None,
@@ -165,11 +235,14 @@ def full_space(
 
     The root interval is closed on both sides so the attribute minimum is
     covered; all descendant left-open splits inherit correct closure.
-    ``backend`` optionally routes the group counting through a
-    :class:`repro.counting.CountingBackend`.  ``ranges`` may supply
-    precomputed :class:`AttributeRange` objects (they are a whole-column
-    property, so callers running many contexts over the same dataset can
-    share one cache); missing attributes are computed here.
+    ``context_cover`` is the categorical context's coverage (a dense
+    boolean array is accepted and packed along the dataset's chunk
+    boundaries).  ``backend`` optionally routes the group counting
+    through a :class:`repro.counting.CountingBackend`.  ``ranges`` may
+    supply precomputed :class:`AttributeRange` objects (they are a
+    whole-column property, so callers running many contexts over the
+    same dataset can share one cache); missing attributes are computed
+    here.
     """
     intervals: dict[str, Interval] = {}
     used: dict[str, AttributeRange] = {}
@@ -180,11 +253,160 @@ def full_space(
         used[name] = rng
         intervals[name] = Interval(rng.lo, rng.hi, True, True)
     ranges = used
+    if not isinstance(context_cover, Cover):
+        context_cover = Cover.from_dense(
+            np.asarray(context_cover, dtype=bool),
+            dataset_chunk_sizes(dataset),
+        )
     if backend is not None:
-        counts = backend.mask_group_counts(context_mask)
+        counts = backend.cover_group_counts(context_cover)
     else:
-        counts = dataset.group_counts(context_mask)
-    return Space(intervals, context_mask, counts, ranges)
+        counts = dataset.group_counts(context_cover.to_dense())
+    return Space(intervals, context_cover, counts, ranges)
+
+
+def _iter_space_values(
+    dataset: Dataset, cover: Cover, attribute: str
+) -> Iterator[np.ndarray]:
+    """Yield each chunk's finite in-cover values of ``attribute``."""
+    for i, values in enumerate(_iter_chunk_columns(dataset, attribute)):
+        inside = values[cover.dense_segment(i)]
+        yield inside[~np.isnan(inside)]
+
+
+def _gather_space_values(
+    dataset: Dataset, cover: Cover, attribute: str
+) -> np.ndarray:
+    """All finite in-cover values, in row order.
+
+    Gathering chunk by chunk and concatenating yields element-wise
+    exactly ``column[dense_mask]`` (chunks partition the rows in order),
+    so every statistic computed on this array is bit-identical to the
+    historical dense path.
+    """
+    parts = list(_iter_space_values(dataset, cover, attribute))
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def _weighted_median(medians: list[float], weights: list[int]) -> float:
+    """Weighted median of per-chunk medians — the narrowing pivot.
+
+    At least half the remaining window weight lies in chunks whose median
+    is ≤ the pivot (and symmetrically ≥), so each narrowing pass discards
+    at least ~25% of the window: termination is guaranteed.
+    """
+    med = np.asarray(medians, dtype=np.float64)
+    order = np.argsort(med, kind="stable")
+    w = np.asarray(weights, dtype=np.float64)[order]
+    cum = np.cumsum(w)
+    idx = int(np.searchsorted(cum, cum[-1] / 2.0))
+    return float(med[order][min(idx, med.size - 1)])
+
+
+def _select_kth(
+    dataset: Dataset, cover: Cover, attribute: str, k: int
+) -> float:
+    """Exact k-th order statistic (0-based) of the finite in-cover values.
+
+    Streaming distributed selection: keep a candidate value window
+    ``[wlo, whi]``, pivot on the weighted median of per-chunk medians,
+    count ``< pivot`` / ``== pivot`` in one pass, and narrow.  Once the
+    window holds at most ``_STREAM_GATHER_FALLBACK`` values (or the pass
+    cap is hit), gather just the window and introselect — the exactness
+    fallback.  Peak memory is O(chunk) + O(window).
+    """
+    wlo = -math.inf
+    whi = math.inf
+    offset = 0  # count of values strictly below the window
+    for _ in range(_STREAM_MAX_PASSES):
+        medians: list[float] = []
+        weights: list[int] = []
+        total = 0
+        for vals in _iter_space_values(dataset, cover, attribute):
+            window = vals[(vals >= wlo) & (vals <= whi)]
+            total += window.size
+            if window.size:
+                medians.append(float(np.median(window)))
+                weights.append(int(window.size))
+        if total <= _STREAM_GATHER_FALLBACK:
+            break
+        pivot = _weighted_median(medians, weights)
+        c_less = 0
+        c_eq = 0
+        for vals in _iter_space_values(dataset, cover, attribute):
+            window = vals[(vals >= wlo) & (vals <= whi)]
+            c_less += int((window < pivot).sum())
+            c_eq += int((window == pivot).sum())
+        target = k - offset
+        if target < c_less:
+            whi = float(np.nextafter(pivot, -math.inf))
+        elif target < c_less + c_eq:
+            return pivot
+        else:
+            wlo = float(np.nextafter(pivot, math.inf))
+            offset += c_less + c_eq
+    parts = [
+        vals[(vals >= wlo) & (vals <= whi)]
+        for vals in _iter_space_values(dataset, cover, attribute)
+    ]
+    window = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    target = k - offset
+    return float(np.partition(window, target)[target])
+
+
+def _streaming_median_split(
+    dataset: Dataset, cover: Cover, attribute: str
+) -> float | None:
+    """Exact median split point without gathering the in-cover values.
+
+    Reproduces the dense path bit for bit: the two middle order
+    statistics are found exactly (streaming selection), an even-length
+    median is their IEEE-double mean — the same ``(a + b) / 2.0``
+    ``np.median`` computes — and the heavy-ties fallback (split point at
+    or above the maximum) returns the largest distinct value below the
+    maximum, exactly ``np.unique(values)[-2]``.
+    """
+    n = 0
+    vmin = math.inf
+    vmax = -math.inf
+    for vals in _iter_space_values(dataset, cover, attribute):
+        n += vals.size
+        if vals.size:
+            vmin = min(vmin, float(vals.min()))
+            vmax = max(vmax, float(vals.max()))
+    if n == 0:
+        return None
+    if vmin == vmax:
+        return None
+    k1 = (n - 1) >> 1
+    k2 = n >> 1
+    v1 = _select_kth(dataset, cover, attribute, k1)
+    if k2 == k1:
+        median = v1
+    else:
+        # v_{k2} is either v_{k1} again (duplicates reach past k2) or
+        # the smallest value above it — one counting pass decides.
+        c_le = 0
+        above = math.inf
+        for vals in _iter_space_values(dataset, cover, attribute):
+            c_le += int((vals <= v1).sum())
+            gt = vals[vals > v1]
+            if gt.size:
+                above = min(above, float(gt.min()))
+        v2 = v1 if c_le > k2 else above
+        median = float((v1 + v2) / 2.0)
+    if median >= vmax:
+        # Heavy ties at the top: largest distinct value below the
+        # maximum, computed as a per-chunk masked max merge.
+        best = -math.inf
+        for vals in _iter_space_values(dataset, cover, attribute):
+            below = vals[vals < vmax]
+            if below.size:
+                best = max(best, float(below.max()))
+        median = best
+    return median
 
 
 def partition_median(
@@ -207,12 +429,28 @@ def partition_median(
     pass instead of three separate reductions; an even-length median is
     the mean of the two partitioned middles either way, so the split
     point is bit-identical.
+
+    Large multi-chunk spaces (more than :data:`MEDIAN_GATHER_BUDGET`
+    covered rows) use a streaming exact-selection pass instead of
+    gathering the in-space values — the split point is the same to the
+    bit (see :func:`_streaming_median_split`); ``statistic="mean"``
+    always gathers because float summation is not order-insensitive.
     """
-    values = dataset.column(attribute)[space.mask]
-    values = values[~np.isnan(values)]  # missing rows join no half
+    interval = space.intervals[attribute]
+    if (
+        statistic == "median"
+        and space.cover.n_chunks > 1
+        and space.total_count > MEDIAN_GATHER_BUDGET
+    ):
+        median = _streaming_median_split(dataset, space.cover, attribute)
+        if median is None:
+            return None
+        left = Interval(interval.lo, median, interval.lo_closed, True)
+        right = Interval(median, interval.hi, False, interval.hi_closed)
+        return left, right
+    values = _gather_space_values(dataset, space.cover, attribute)
     if values.size == 0:
         return None
-    interval = space.intervals[attribute]
     if fast and statistic == "median":
         n = values.size
         mid = n >> 1
@@ -268,16 +506,22 @@ def find_combinations(
     """All combinations of the per-attribute halves (``find_combs``).
 
     Attributes without a split keep their current interval.  With ``k``
-    split attributes this yields ``2^k`` child spaces; their masks partition
-    the parent's mask.  ``backend`` optionally routes the per-space group
-    counting through a :class:`repro.counting.CountingBackend`.
+    split attributes this yields ``2^k`` child spaces; their covers
+    partition the parent's cover.  ``backend`` optionally routes the
+    per-space group counting through a
+    :class:`repro.counting.CountingBackend`.
+
+    The chunk-outer loop computes each half's coverage once per chunk,
+    packs it, and ANDs packed words against the parent segment — every
+    child that includes a half reuses its packed bits, each chunk's
+    column is touched exactly once, and no dense full-length mask is
+    ever built.  Child covers and counts are bit-identical to the
+    historical dense path (``packbits(a & b) == packbits(a) &
+    packbits(b)`` under zero padding).
 
     ``batch_counts=True`` (the batch evaluation engine, DESIGN.md §12)
-    computes each half's row cover once and reuses it across every child
-    that includes it, instead of re-deriving the cover per child — with
-    ``k`` split attributes that is ``2k`` interval covers instead of
-    ``k * 2^k``.  The child masks and counts are the same arrays either
-    way.
+    only changes the instrumentation: the children are additionally
+    tallied as one batch invocation.
     """
     choices: list[tuple[str, tuple[Interval, ...]]] = []
     for name in space.attributes:
@@ -286,64 +530,48 @@ def find_combinations(
         else:
             choices.append((name, (space.intervals[name],)))
 
-    if batch_counts and backend is not None:
-        return _find_combinations_batched(dataset, space, choices, backend)
-
-    count_of = (
-        backend.mask_group_counts
-        if backend is not None
-        else dataset.group_counts
-    )
-    children: list[Space] = []
-    for combo in itertools.product(*(c[1] for c in choices)):
-        intervals = {name: iv for (name, _), iv in zip(choices, combo)}
-        mask = space.mask
-        for (name, options), interval in zip(choices, combo):
-            if len(options) > 1:  # only intersect the changed axes
-                mask = mask & interval.cover(dataset.column(name))
-        children.append(
-            Space(intervals, mask, count_of(mask), space.ranges)
-        )
-    return children
-
-
-def _find_combinations_batched(
-    dataset: Dataset,
-    space: Space,
-    choices: Sequence[tuple[str, tuple[Interval, ...]]],
-    backend,
-) -> list[Space]:
-    """``find_combs`` with each half's row cover computed exactly once.
-
-    The child masks that come out of the shared covers are element-wise
-    identical to the scalar loop's, and each child's group counting still
-    goes through the backend (one ``mask_group_counts`` per child — with
-    the bitmap backend that is a packed popcount, far cheaper than
-    re-deriving covers), so ``count_calls`` advances exactly as the
-    scalar driver's.
-    """
-    covers: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-    n_children = 1
-    for name, options in choices:
-        if len(options) > 1:
-            column = dataset.column(name)
-            covers[name] = (options[0].cover(column), options[1].cover(column))
-            n_children <<= 1
-    backend.batch_calls += 1
-    backend.batched_candidates += n_children
-
-    children: list[Space] = []
-    for combo in itertools.product(*(c[1] for c in choices)):
-        intervals = {name: iv for (name, _), iv in zip(choices, combo)}
-        mask = space.mask
-        for (name, options), interval in zip(choices, combo):
-            if len(options) > 1:
-                left, right = covers[name]
-                mask = mask & (left if interval is options[0] else right)
-        children.append(
-            Space(
-                intervals, mask, backend.mask_group_counts(mask), space.ranges
+    split_axes = [
+        (name, options) for name, options in choices if len(options) > 1
+    ]
+    combos = list(itertools.product(*(c[1] for c in choices)))
+    cover = space.cover
+    child_segments: list[list[np.ndarray]] = [[] for _ in combos]
+    column_iters = [
+        _iter_chunk_columns(dataset, name) for name, _ in split_axes
+    ]
+    for i in range(cover.n_chunks):
+        parent_bits = cover.segment(i)
+        halves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for (name, options), columns in zip(split_axes, column_iters):
+            column = next(columns)
+            halves[name] = (
+                np.packbits(options[0].cover(column)),
+                np.packbits(options[1].cover(column)),
             )
+        for child, combo in enumerate(combos):
+            bits = parent_bits
+            for (name, options), interval in zip(choices, combo):
+                if len(options) > 1:
+                    left, right = halves[name]
+                    bits = bits & (
+                        left if interval is options[0] else right
+                    )
+            child_segments[child].append(bits)
+
+    if batch_counts and backend is not None:
+        backend.batch_calls += 1
+        backend.batched_candidates += len(combos)
+
+    children: list[Space] = []
+    for combo, segments in zip(combos, child_segments):
+        intervals = {name: iv for (name, _), iv in zip(choices, combo)}
+        child_cover = Cover(segments, cover.chunk_sizes)
+        if backend is not None:
+            counts = backend.cover_group_counts(child_cover)
+        else:
+            counts = dataset.group_counts(child_cover.to_dense())
+        children.append(
+            Space(intervals, child_cover, counts, space.ranges)
         )
     return children
 
@@ -366,7 +594,7 @@ def are_contiguous(a: Space, b: Space) -> bool:
 
 
 def merged_space(a: Space, b: Space) -> Space:
-    """Union of two contiguous spaces (counts and masks are additive
+    """Union of two contiguous spaces (counts and covers are additive
     because median splits produce disjoint boxes)."""
     if not are_contiguous(a, b):
         raise ValueError("spaces are not contiguous")
@@ -376,7 +604,7 @@ def merged_space(a: Space, b: Space) -> Space:
             intervals[name] = a.intervals[name].merge_with(b.intervals[name])
     return Space(
         intervals,
-        a.mask | b.mask,
+        a.cover | b.cover,
         a.counts + b.counts,
         a.ranges,
     )

@@ -177,15 +177,18 @@ class _SDADRun:
 
     def run(self) -> SDADResult:
         self.stats.sdad_calls += 1
-        context_mask = (
-            self.backend.cover(self.categorical)
+        # Packed per-chunk coverage of the categorical context; with a
+        # chunked backend the segments are lazy thunks, so chunks are
+        # only touched when the recursion actually reads them.
+        context_cover = (
+            self.backend.cover_of(self.categorical)
             if len(self.categorical)
-            else np.ones(self.dataset.n_rows, dtype=bool)
+            else self.backend.full_cover()
         )
         root = full_space(
             self.dataset,
             self.continuous,
-            context_mask,
+            context_cover,
             self.backend,
             ranges=(
                 {name: self.batch.range_of(name) for name in self.continuous}

@@ -21,6 +21,13 @@ The protocol has two counting granularities:
 ``group_counts_batch(itemsets)``
     N candidates → one ``(N, n_groups)`` int64 matrix (batch path).
 
+The search state itself (SDAD-CS spaces) speaks packed per-chunk
+:class:`~repro.core.cover.Cover` bitsets, so every backend also exposes
+``chunk_sizes`` / ``cover_of`` / ``full_cover`` / ``cover_group_counts``;
+``cover_group_counts`` is the packed twin of ``mask_group_counts`` (same
+result, same single ``count_calls`` tally), and the chunked backend
+counts covers chunk by chunk without ever densifying a full-row mask.
+
 Every backend accepts batches: :class:`CountingBackendBase` provides a
 per-candidate fallback that stacks ``group_counts`` rows, and backends
 that can do better (bitmap: one packed-AND + popcount sweep; chunked:
@@ -43,6 +50,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
+
+from ..core.cover import Cover
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.instrumentation import MiningStats
@@ -117,6 +126,31 @@ class CountingBackend(Protocol):
         """Per-group counts inside an arbitrary boolean row mask."""
         ...
 
+    @property
+    def chunk_sizes(self) -> tuple[int, ...]:
+        """Per-chunk row counts of the backing dataset (``(n_rows,)``
+        when dense) — the alignment every :class:`Cover` handed to this
+        backend must share."""
+        ...
+
+    def cover_of(self, itemset: "Itemset") -> Cover:
+        """Packed per-chunk coverage of an itemset (the search-state
+        representation; see :mod:`repro.core.cover`)."""
+        ...
+
+    def full_cover(self) -> Cover:
+        """Packed coverage of every row (the empty context)."""
+        ...
+
+    def cover_group_counts(self, cover: Cover) -> np.ndarray:
+        """Per-group counts inside a packed cover.
+
+        Equal to ``mask_group_counts(cover.to_dense())`` and tallied
+        identically (one ``count_calls``); backends count on packed
+        words directly where they can.
+        """
+        ...
+
     def counters(self) -> BackendCounters:
         """Current instrumentation snapshot."""
         ...
@@ -167,6 +201,47 @@ class CountingBackendBase:
             for itemset in items
         ]
         return np.stack(rows)
+
+    # ------------------------------------------------------------------
+    # Packed-cover surface (Cover-native search state, DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_sizes(self) -> tuple[int, ...]:
+        """Per-chunk row counts of the backing dataset.
+
+        Dense in-memory datasets are one chunk; chunk-aware backends
+        override (or inherit this duck-typed probe) to report the view's
+        chunk layout so covers stay segment-aligned with it.
+        """
+        metas = getattr(self.dataset, "chunk_metas", None)
+        if metas is None:
+            return (self.dataset.n_rows,)
+        return tuple(m.n_rows for m in metas())
+
+    def cover_of(self, itemset: "Itemset") -> Cover:
+        """Packed coverage of an itemset.
+
+        Reference fallback: densify via :meth:`cover` and pack along the
+        chunk boundaries.  Backends with packed or per-chunk indexes
+        override to avoid the dense intermediate.
+        """
+        return Cover.from_dense(self.cover(itemset), self.chunk_sizes)
+
+    def full_cover(self) -> Cover:
+        """Packed coverage of every row (the empty context)."""
+        return Cover.full(self.chunk_sizes)
+
+    def cover_group_counts(self, cover: Cover) -> np.ndarray:
+        """Per-group counts inside a packed cover.
+
+        Reference fallback: densify and ``bincount`` — the historical
+        ``mask_group_counts`` semantics, including its single
+        ``count_calls`` tally.  Packed backends override with AND +
+        popcount counting.
+        """
+        self.count_calls += 1
+        return self.dataset.group_counts(cover.to_dense())
 
     def counters(self) -> BackendCounters:
         return BackendCounters(

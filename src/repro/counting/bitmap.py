@@ -31,6 +31,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..core.cover import Cover
 from ..core.items import CategoricalItem, Itemset
 from ..dataset.bitmap import BitmapIndex, popcount_rows
 from ..dataset.table import DatasetError
@@ -119,6 +120,28 @@ class BitmapBackend(CountingBackendBase):
             mask = mask & item.cover(self.dataset)
         return mask
 
+    def cover_of(self, itemset: Itemset) -> Cover:
+        """Packed coverage straight from the bitmap index.
+
+        The categorical prefix goes through :meth:`_bits` exactly once —
+        the same single LRU probe the dense :meth:`cover` path performs,
+        so cache accounting is unchanged — and purely categorical
+        itemsets (every SDAD-CS context) never densify at all.
+        """
+        categorical, rest = self._split(itemset)
+        bits = self._bits(categorical)
+        if rest:
+            mask = np.unpackbits(
+                bits, count=self.dataset.n_rows
+            ).view(np.bool_)
+            for item in rest:
+                mask = mask & item.cover(self.dataset)
+            bits = np.packbits(mask)
+        return Cover([bits], (self.dataset.n_rows,))
+
+    def full_cover(self) -> Cover:
+        return Cover([self._index.full_bits], (self.dataset.n_rows,))
+
     def group_counts(self, itemset: Itemset) -> np.ndarray:
         self.count_calls += 1
         categorical, rest = self._split(itemset)
@@ -175,6 +198,19 @@ class BitmapBackend(CountingBackendBase):
         if mask.dtype != np.bool_ or mask.shape != (self.dataset.n_rows,):
             raise DatasetError("mask must be a boolean array over rows")
         return self._count_mask(mask)
+
+    def cover_group_counts(self, cover: Cover) -> np.ndarray:
+        """Count a packed cover without unpacking: one fused AND +
+        popcount against the per-group stack.
+
+        This is the cover-AND hotspot in packed form — the dense path
+        paid an ``n_rows`` boolean pack here on every space count.
+        """
+        self.count_calls += 1
+        if cover.chunk_sizes != (self.dataset.n_rows,):
+            # Foreign chunking (not produced by this backend): realign.
+            return self._counts_of_bits(np.packbits(cover.to_dense()))
+        return self._counts_of_bits(cover.segment(0))
 
     # ------------------------------------------------------------------
 

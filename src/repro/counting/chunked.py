@@ -24,10 +24,13 @@ ChunkedView` and counts each itemset chunk by chunk:
   count through transient per-chunk :class:`~repro.dataset.table.
   Dataset` views (bounded by the store's chunk LRU).
 
-Arbitrary-mask counting (`mask_group_counts`) runs against the view's
-resident group-code column in one ``bincount`` — masks are produced by
-the SDAD-CS recursion over full columns the view already materialises
-lazily, so no chunk traversal is needed.
+The SDAD-CS search state speaks packed per-chunk
+:class:`~repro.core.cover.Cover` bitsets (DESIGN.md §13): ``cover_of``
+returns lazily-thunked per-chunk segments, and ``cover_group_counts``
+counts a cover with one packed AND + popcount per chunk against
+digest-keyed per-chunk group stacks.  Nothing on this path ever
+materialises a full-row boolean mask or the view's ``int64`` group
+codes, which is what keeps mining peak RSS at O(chunk).
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.cover import Cover
 from ..core.items import CategoricalItem, Itemset
 from ..dataset.bitmap import popcount_rows
 from ..dataset.chunked import GROUP_FILE, ChunkedView, ChunkMeta
@@ -86,13 +90,19 @@ class _ChunkBits:
         )
 
     def counts(self, itemset: Itemset) -> np.ndarray:
+        bits = self.bits(itemset)
+        if bits is None:
+            return popcount_rows(self.group_stack)
+        return popcount_rows(self.group_stack & bits)
+
+    def bits(self, itemset: Itemset) -> np.ndarray | None:
+        """Packed coverage of a categorical itemset over this chunk
+        (``None`` for the empty itemset: every row)."""
         bits = None
         for item in itemset:
             item_bits = self.item_bits[(item.attribute, item.value)]
             bits = item_bits if bits is None else bits & item_bits
-        if bits is None:
-            return popcount_rows(self.group_stack)
-        return popcount_rows(self.group_stack & bits)
+        return bits
 
 
 class ChunkedBackend(CountingBackendBase):
@@ -139,6 +149,10 @@ class ChunkedBackend(CountingBackendBase):
         self.cache_size = cache_size or DEFAULT_COUNTS_CACHE
         self._counts_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._chunk_bits: dict[str, _ChunkBits] = {}
+        self._group_stacks: dict[str, np.ndarray] = {}
+        self._chunk_sizes = tuple(
+            meta.n_rows for meta in view.chunk_metas()
+        )
 
     # ------------------------------------------------------------------
     # Per-chunk counting
@@ -240,9 +254,105 @@ class ChunkedBackend(CountingBackendBase):
         mask = np.asarray(mask)
         if mask.dtype != np.bool_ or mask.shape != (self.dataset.n_rows,):
             raise DatasetError("mask must be a boolean array over rows")
-        # The view's group codes are resident, so an arbitrary-mask count
-        # is one bincount — no chunk traversal.
-        return self.dataset.group_counts(mask)
+        # Legacy dense-mask entry point: count through the packed path
+        # so the view's group codes never need to materialise.
+        return Cover.from_dense(mask, self._chunk_sizes).group_counts(
+            [
+                self._group_stack_for(meta)
+                for meta in self.dataset.chunk_metas()
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Packed-cover surface: chunk-native, never densifies a full mask
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_sizes(self) -> tuple[int, ...]:
+        return self._chunk_sizes
+
+    def _group_stack_for(self, meta: ChunkMeta) -> np.ndarray:
+        """Packed per-group membership stack of one chunk.
+
+        Keyed by the chunk's content digest (append-stable, like the
+        counts LRU); reuses the bits-only chunk index's stack when the
+        ``bitmap`` inner strategy already built one.  Residency cost is
+        ``n_groups * n_rows / 8`` bits across all chunks — the same
+        budget the in-memory bitmap backend pays once.
+        """
+        stack = self._group_stacks.get(meta.digest)
+        if stack is None:
+            bits = self._chunk_bits.get(meta.digest)
+            if bits is not None:
+                stack = bits.group_stack
+            else:
+                codes = self.dataset.chunk_store._mmap_file(
+                    meta, GROUP_FILE
+                )
+                stack = np.stack(
+                    [
+                        np.packbits(codes == g)
+                        for g in range(self.dataset.n_groups)
+                    ]
+                )
+            self._group_stacks[meta.digest] = stack
+        return stack
+
+    def cover_of(self, itemset: Itemset) -> Cover:
+        """Lazy per-chunk packed coverage of an itemset.
+
+        Each segment is a thunk: no chunk is read until the search
+        actually intersects or counts the cover.  With the ``bitmap``
+        inner strategy a categorical itemset's segment is an AND of
+        resident item bit-vectors; otherwise the chunk's coverage is
+        computed transiently and packed immediately — O(chunk) peak,
+        never a full-row mask.
+        """
+        view: ChunkedView = self.dataset
+        store = view.chunk_store
+        categorical_only = all(
+            isinstance(item, CategoricalItem) for item in itemset
+        )
+        segments = []
+        for meta, index in zip(view.chunk_metas(), view.chunk_indices):
+            if self.inner == "bitmap" and categorical_only:
+
+                def segment(meta=meta, n=meta.n_rows):
+                    bits = self._bits_for(meta).bits(itemset)
+                    if bits is None:
+                        return Cover.full((n,)).segment(0)
+                    return bits
+
+            else:
+
+                def segment(index=index):
+                    chunk = store.chunk_dataset(index)
+                    return np.packbits(itemset.cover(chunk))
+
+            segments.append(segment)
+        return Cover(segments, self._chunk_sizes)
+
+    def full_cover(self) -> Cover:
+        return Cover.full(self._chunk_sizes)
+
+    def cover_group_counts(self, cover: Cover) -> np.ndarray:
+        """Per-group counts of a packed cover, chunk by chunk.
+
+        One packed AND + popcount per chunk against the digest-keyed
+        group stacks — equal to the dense ``bincount`` while touching
+        only ``n_rows / 8`` bytes per chunk.
+        """
+        self.count_calls += 1
+        if cover.chunk_sizes != self._chunk_sizes:
+            raise DatasetError(
+                "cover is not chunk-aligned with the view"
+            )
+        return cover.group_counts(
+            [
+                self._group_stack_for(meta)
+                for meta in self.dataset.chunk_metas()
+            ]
+        )
 
     # ------------------------------------------------------------------
 

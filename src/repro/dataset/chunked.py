@@ -631,15 +631,20 @@ class ChunkedDataset:
     # Integrity
     # ------------------------------------------------------------------
 
-    def verify(self) -> None:
-        """Re-hash every chunk file against the manifest digests.
+    def verify_chunks(self):
+        """Re-hash every chunk's files against the manifest digests.
 
-        Raises :class:`ChunkedDatasetError` on the first mismatch;
-        completing silently means the store's bytes are exactly what the
-        manifest promised.
+        Yields ``(meta, error)`` per chunk in row order, where ``error``
+        is ``None`` for an intact chunk or a one-line description of the
+        first problem found in it (unreadable file, per-file digest
+        mismatch, or stale chunk content digest).  All chunks are always
+        visited — callers that want fail-fast semantics use
+        :meth:`verify`; the CLI ``dataset verify`` subcommand reports
+        every chunk.
         """
         for meta in self.chunks:
             chunk_dir = self.path / CHUNKS_DIR / meta.chunk_id
+            error: str | None = None
             for name, expected in list(meta.column_digests.items()) + [
                 (GROUP_FILE, meta.group_digest)
             ]:
@@ -647,22 +652,33 @@ class ChunkedDataset:
                 try:
                     actual = _sha256(path.read_bytes())
                 except OSError as exc:
-                    raise ChunkedDatasetError(
-                        f"unreadable chunk file {path}: {exc}"
-                    ) from None
+                    error = f"unreadable chunk file {path}: {exc}"
+                    break
                 if actual != expected:
-                    raise ChunkedDatasetError(
+                    error = (
                         f"digest mismatch in {path}: manifest says "
                         f"{expected[:12]}…, file hashes to {actual[:12]}…"
                     )
-            recomputed = _chunk_digest(
-                self.schema.names, self.codecs, meta.n_rows,
-                meta.column_digests, meta.group_digest,
-            )
-            if recomputed != meta.digest:
-                raise ChunkedDatasetError(
-                    f"chunk digest mismatch for {meta.chunk_id}"
+                    break
+            if error is None:
+                recomputed = _chunk_digest(
+                    self.schema.names, self.codecs, meta.n_rows,
+                    meta.column_digests, meta.group_digest,
                 )
+                if recomputed != meta.digest:
+                    error = f"chunk digest mismatch for {meta.chunk_id}"
+            yield meta, error
+
+    def verify(self) -> None:
+        """Re-hash every chunk file against the manifest digests.
+
+        Raises :class:`ChunkedDatasetError` on the first mismatch;
+        completing silently means the store's bytes are exactly what the
+        manifest promised.
+        """
+        for _meta, error in self.verify_chunks():
+            if error is not None:
+                raise ChunkedDatasetError(error)
 
 
 def _reopen_view(
@@ -689,8 +705,12 @@ class ChunkedView(Dataset):
     appended.  Columns materialise on first access (at canonical dtype,
     so every consumer — SDAD-CS splits, fingerprints, bitmap indexes —
     sees byte-identical values to an in-memory dataset) and at most
-    ``max_resident_columns`` stay resident.  Group codes are resident
-    (they back every counting call).
+    ``max_resident_columns`` stay resident.  Group codes are lazy too:
+    row totals and group sizes come from the chunk manifests, the
+    chunk-native counting path never widens them to ``int64``, and
+    consumers that need the full column (fingerprints, ``restrict``)
+    gather it on first access.  Per-chunk column access for the search
+    (:meth:`iter_chunk_columns`) reads straight from the chunk files.
 
     Pickling a view captures only ``(path, chunk ids)``; workers
     re-open the store and share chunk bytes via the page cache.
@@ -722,13 +742,18 @@ class ChunkedView(Dataset):
         self._schema = store.schema
         self._group_name = store.group_name
         self._group_labels = store.group_labels
-        self._group_codes = store.gather_group_codes(self._chunk_indices)
-        self._group_sizes = tuple(
-            int(c)
-            for c in np.bincount(
-                self._group_codes, minlength=len(self._group_labels)
-            )
-        )
+        # Group codes are lazy: row totals and group sizes come from the
+        # chunk manifests, and the chunk-native counting path (packed
+        # covers + per-chunk group bit-stacks) never reads the int64
+        # column at all.  Consumers that do (fingerprints, restrict)
+        # trigger a one-off gather through the ``_group_codes`` property.
+        self._resident_codes: np.ndarray | None = None
+        metas = [store._chunk_meta(i) for i in self._chunk_indices]
+        self._n_rows = sum(m.n_rows for m in metas)
+        sizes = np.zeros(len(self._group_labels), dtype=np.int64)
+        for meta in metas:
+            sizes += np.asarray(meta.group_sizes, dtype=np.int64)
+        self._group_sizes = tuple(int(c) for c in sizes)
         self._columns: dict[str, np.ndarray] = {}  # unused; lazy instead
         self._column_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
@@ -759,11 +784,49 @@ class ChunkedView(Dataset):
         for index in self._chunk_indices:
             yield self._store.chunk_dataset(index)
 
+    def iter_chunk_columns(self, name: str) -> Iterator[np.ndarray]:
+        """Yield one canonical-dtype array per chunk for ``name``.
+
+        Continuous columns are stored at canonical ``float64`` width, so
+        each yield is the chunk's memory-mapped file directly — nothing
+        full-length (and for continuous data nothing at all) is
+        materialised.  Concatenating the yields equals
+        :meth:`column` exactly.
+        """
+        if name not in self._schema:
+            raise KeyError(name)
+        attr = self._schema[name]
+        dtype = np.float64 if attr.is_continuous else np.int64
+        for index in self._chunk_indices:
+            meta = self._store._chunk_meta(index)
+            raw = self._store._mmap_file(meta, name)
+            yield raw if raw.dtype == dtype else raw.astype(dtype)
+
     def resident_columns(self) -> tuple[str, ...]:
         """Names of the currently materialised columns (oldest first)."""
         return tuple(self._column_cache)
 
     # -- Dataset overrides ------------------------------------------------
+
+    @property
+    def _group_codes(self) -> np.ndarray:
+        """Lazily gathered ``int64`` group codes (8 bytes/row — only
+        consumers outside the chunk-native counting path pay for it)."""
+        codes = self._resident_codes
+        if codes is None:
+            codes = self._store.gather_group_codes(self._chunk_indices)
+            self._resident_codes = codes
+        return codes
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def group_counts(self, mask: np.ndarray | None = None) -> np.ndarray:
+        if mask is None:
+            # Manifest-derived totals; no reason to touch the codes.
+            return np.asarray(self._group_sizes, dtype=np.int64)
+        return super().group_counts(mask)
 
     def column(self, name: str) -> np.ndarray:
         cached = self._column_cache.get(name)

@@ -1,24 +1,11 @@
 """Level-parallel mining on a process pool (Section 6 scaling strategy).
 
 The supported entry point is :meth:`repro.ContrastSetMiner.mine` with
-``n_jobs > 1``; :func:`mine_parallel` and ``ParallelMiningResult`` are
-deprecated shims kept for one release.
+``n_jobs > 1``; :func:`parallel_search` is the driver it delegates to,
+and :func:`mine_level_tasks` the task builder the scheduler (and the
+resilience tests) use directly.
 """
 
-from .scheduler import mine_level_tasks, mine_parallel, parallel_search
+from .scheduler import mine_level_tasks, parallel_search
 
-__all__ = [
-    "ParallelMiningResult",
-    "mine_level_tasks",
-    "mine_parallel",
-    "parallel_search",
-]
-
-
-def __getattr__(name: str):
-    if name == "ParallelMiningResult":
-        # scheduler.__getattr__ emits the DeprecationWarning
-        from . import scheduler
-
-        return scheduler.ParallelMiningResult
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+__all__ = ["mine_level_tasks", "parallel_search"]

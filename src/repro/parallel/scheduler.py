@@ -28,8 +28,7 @@ serial one.
 This module implements the strategy with ``multiprocessing`` on one
 machine — the paper's cluster stands in for our process pool (DESIGN.md
 substitution #4).  The public entry point is
-:meth:`repro.ContrastSetMiner.mine` with ``n_jobs > 1``;
-:func:`mine_parallel` remains as a deprecated shim.  Workers count
+:meth:`repro.ContrastSetMiner.mine` with ``n_jobs > 1``.  Workers count
 supports through the configured :mod:`counting backend <repro.counting>` —
 each worker builds its backend once in the pool initializer, so the bitmap
 backend's packed index and context cache persist across the tasks a worker
@@ -52,7 +51,6 @@ from __future__ import annotations
 import itertools
 import math
 import os
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -77,7 +75,7 @@ from ..resilience.checkpoint import (
 from ..resilience.executor import ResilientExecutor, TaskEnvelope
 from ..resilience.inject import CORRUPT_SENTINEL, FaultPlan, apply_fault
 
-__all__ = ["mine_parallel", "mine_level_tasks", "parallel_search"]
+__all__ = ["mine_level_tasks", "parallel_search"]
 
 # Worker-global state: sent once per worker via the initializer instead of
 # pickling the dataset (and rebuilding the counting backend) in every task.
@@ -571,55 +569,3 @@ def parallel_search(
     stats.prune_table_checks = prune_table.checks
     stats.prune_table_hits = prune_table.hits
     return topk, stats, n_workers
-
-
-_MINE_PARALLEL_KWARGS = frozenset(
-    {"groups", "attributes", "checkpoint_dir", "fault_plan"}
-)
-
-
-def mine_parallel(
-    dataset: Dataset,
-    config: MinerConfig | None = None,
-    n_workers: int | None = None,
-    **kwargs,
-):
-    """Deprecated: use ``ContrastSetMiner(config).mine(dataset, n_jobs=N)``.
-
-    Kept for one release as a thin shim over the unified entry point; it
-    returns the same :class:`repro.core.miner.MiningResult` the miner does.
-    Keyword arguments the unified ``mine`` accepts (``groups``,
-    ``attributes``, ``checkpoint_dir``, ``fault_plan``) are forwarded;
-    anything else raises ``TypeError`` instead of being silently dropped.
-    """
-    unexpected = set(kwargs) - _MINE_PARALLEL_KWARGS
-    if unexpected:
-        raise TypeError(
-            "mine_parallel() got unexpected keyword argument(s): "
-            + ", ".join(sorted(unexpected))
-        )
-    warnings.warn(
-        "mine_parallel is deprecated; use "
-        "ContrastSetMiner(config).mine(dataset, n_jobs=n_workers) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..core.miner import ContrastSetMiner
-
-    n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
-    return ContrastSetMiner(config).mine(dataset, n_jobs=n_workers, **kwargs)
-
-
-def __getattr__(name: str):
-    if name == "ParallelMiningResult":
-        warnings.warn(
-            "ParallelMiningResult is deprecated; parallel runs now return "
-            "repro.core.miner.MiningResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from ..core.miner import MiningResult
-
-        return MiningResult
-
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -348,6 +348,40 @@ class TestDatasetCli:
         assert main(["mine", store, "--depth", "2", "--top", "3"]) == 0
         assert "chunked+mask backend" in capsys.readouterr().out
 
+    def test_verify_clean_store(self, tmp_path, csv_path, capsys):
+        store = str(tmp_path / "store")
+        main(["dataset", "pack", csv_path, "--group", "group",
+              "--store", store, "--chunk-size", "150"])
+        capsys.readouterr()
+        assert main(["dataset", "verify", store]) == 0
+        out = capsys.readouterr().out
+        # one line per chunk, each reporting ok
+        chunk_lines = [ln for ln in out.splitlines()
+                       if ln.startswith("chunk-")]
+        assert len(chunk_lines) == 4
+        assert all(ln.endswith("ok") for ln in chunk_lines)
+        assert "all digests match" in out
+
+    def test_verify_corrupt_store_exits_2(self, tmp_path, csv_path,
+                                          capsys):
+        store_dir = tmp_path / "store"
+        main(["dataset", "pack", csv_path, "--group", "group",
+              "--store", str(store_dir), "--chunk-size", "150"])
+        capsys.readouterr()
+        victim = sorted((store_dir / "chunks").iterdir())[1] / "x.bin"
+        blob = bytearray(victim.read_bytes())
+        blob[0] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        assert main(["dataset", "verify", str(store_dir)]) == 2
+        captured = capsys.readouterr()
+        chunk_lines = [ln for ln in captured.out.splitlines()
+                       if ln.startswith("chunk-")]
+        # every chunk is still reported; exactly one is corrupt
+        assert len(chunk_lines) == 4
+        assert sum("CORRUPT" in ln for ln in chunk_lines) == 1
+        assert "CORRUPT" in chunk_lines[1]
+        assert "1 of 4 chunks corrupt" in captured.err
+
     def test_append_and_group_alignment(self, tmp_path, csv_path,
                                         mixed_dataset, capsys):
         store = str(tmp_path / "store")

@@ -1,0 +1,239 @@
+"""Property suite for the packed per-chunk Cover (DESIGN.md §13).
+
+The Cover invariants the whole Cover-native search stack rests on:
+
+* packed boolean algebra equals dense boolean algebra — ``&`` / ``|``
+  on segments commute with ``np.packbits`` (padding bits are stable);
+* ``count`` / ``group_counts`` are the exact integer tallies of the
+  dense mask (``mask.sum()`` / ``bincount`` of codes inside the mask);
+* the chunking is a representation detail: any chunk split of the same
+  dense mask densifies, counts, and combines identically (including
+  empty, full, and single-row chunks);
+* pickles are materialised packed words — ~``n_rows / 8`` bytes plus
+  small overhead, never a dense mask or a thunk.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import Cover
+
+
+def chunk_splits(n: int) -> st.SearchStrategy:
+    """Strategies for splitting n rows into chunk sizes (zeros allowed)."""
+
+    @st.composite
+    def split(draw):
+        sizes = []
+        remaining = n
+        while remaining > 0:
+            take = draw(st.integers(min_value=1, max_value=remaining))
+            sizes.append(take)
+            remaining -= take
+            if draw(st.booleans()):
+                sizes.append(0)  # empty chunks are legal anywhere
+        if not sizes:
+            sizes = [0]
+        return tuple(sizes)
+
+    return split()
+
+
+@st.composite
+def mask_and_chunks(draw, max_rows: int = 200):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    mask = np.array(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    sizes = draw(chunk_splits(n))
+    return mask, sizes
+
+
+@st.composite
+def two_masks_and_chunks(draw, max_rows: int = 200):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    a = np.array(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    b = np.array(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    sizes = draw(chunk_splits(n))
+    return a, b, sizes
+
+
+_SETTINGS = settings(max_examples=100, deadline=None)
+
+
+class TestDenseParity:
+    @given(mask_and_chunks())
+    @_SETTINGS
+    def test_round_trip(self, mc):
+        mask, sizes = mc
+        cover = Cover.from_dense(mask, sizes)
+        assert cover.chunk_sizes == sizes
+        assert cover.n_rows == mask.shape[0]
+        assert np.array_equal(cover.to_dense(), mask)
+
+    @given(mask_and_chunks())
+    @_SETTINGS
+    def test_count_matches_dense_sum(self, mc):
+        mask, sizes = mc
+        assert Cover.from_dense(mask, sizes).count() == int(mask.sum())
+
+    @given(two_masks_and_chunks())
+    @_SETTINGS
+    def test_and_or_match_dense_algebra(self, mc):
+        a, b, sizes = mc
+        ca = Cover.from_dense(a, sizes)
+        cb = Cover.from_dense(b, sizes)
+        assert np.array_equal((ca & cb).to_dense(), a & b)
+        assert np.array_equal((ca | cb).to_dense(), a | b)
+
+    @given(two_masks_and_chunks())
+    @_SETTINGS
+    def test_packed_algebra_is_canonical(self, mc):
+        """AND/OR of packed segments equals packing the dense AND/OR —
+        padding bits stay zero, so segments are comparable bytewise."""
+        a, b, sizes = mc
+        anded = Cover.from_dense(a, sizes) & Cover.from_dense(b, sizes)
+        repacked = Cover.from_dense(a & b, sizes)
+        for i in range(anded.n_chunks):
+            assert np.array_equal(anded.segment(i), repacked.segment(i))
+
+    @given(mask_and_chunks(), st.integers(min_value=1, max_value=4))
+    @_SETTINGS
+    def test_group_counts_match_bincount(self, mc, n_groups):
+        mask, sizes = mc
+        rng = np.random.default_rng(mask.shape[0] * 31 + n_groups)
+        codes = rng.integers(0, n_groups, size=mask.shape[0])
+        stacks = []
+        offset = 0
+        for n in sizes:
+            chunk_codes = codes[offset:offset + n]
+            stacks.append(
+                np.stack(
+                    [np.packbits(chunk_codes == g) for g in range(n_groups)]
+                )
+            )
+            offset += n
+        got = Cover.from_dense(mask, sizes).group_counts(stacks)
+        expected = np.bincount(codes[mask], minlength=n_groups)
+        assert np.array_equal(got, expected)
+
+
+class TestChunkInvariance:
+    @given(st.data())
+    @_SETTINGS
+    def test_split_choice_is_invisible(self, data):
+        """Two different chunkings of one mask agree on everything a
+        caller can observe through the dense surface."""
+        n = data.draw(st.integers(min_value=0, max_value=150))
+        mask = np.array(
+            data.draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+            dtype=bool,
+        )
+        sizes_a = data.draw(chunk_splits(n))
+        sizes_b = data.draw(chunk_splits(n))
+        ca = Cover.from_dense(mask, sizes_a)
+        cb = Cover.from_dense(mask, sizes_b)
+        assert ca.count() == cb.count()
+        assert np.array_equal(ca.to_dense(), cb.to_dense())
+
+    def test_single_row_chunks(self):
+        mask = np.array([True, False, True], dtype=bool)
+        cover = Cover.from_dense(mask, (1, 1, 1))
+        assert cover.count() == 2
+        assert np.array_equal(cover.to_dense(), mask)
+        assert [cover.dense_segment(i).tolist() for i in range(3)] == [
+            [True], [False], [True]
+        ]
+
+    def test_empty_chunks_and_zero_rows(self):
+        cover = Cover.from_dense(np.zeros(0, dtype=bool), (0, 0))
+        assert cover.count() == 0
+        assert cover.to_dense().shape == (0,)
+        mixed = Cover.from_dense(
+            np.array([True, True], dtype=bool), (0, 2, 0)
+        )
+        assert mixed.count() == 2
+        assert mixed.segment(0).shape == (0,)
+
+    def test_full_and_empty_constructors(self):
+        sizes = (5, 0, 8, 3)
+        full = Cover.full(sizes)
+        empty = Cover.empty(sizes)
+        assert full.count() == 16
+        assert empty.count() == 0
+        assert np.array_equal(full.to_dense(), np.ones(16, dtype=bool))
+        assert np.array_equal(empty.to_dense(), np.zeros(16, dtype=bool))
+        # padding bits of full are zero: AND with anything stays canonical
+        ones = Cover.from_dense(np.ones(16, dtype=bool), sizes)
+        for i in range(full.n_chunks):
+            assert np.array_equal(full.segment(i), ones.segment(i))
+
+    def test_misaligned_covers_rejected(self):
+        a = Cover.full((4, 4))
+        b = Cover.full((8,))
+        with pytest.raises(ValueError, match="chunk-aligned"):
+            a & b
+        with pytest.raises(ValueError, match="chunk-aligned"):
+            a | b
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError, match="boolean"):
+            Cover.from_dense(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="chunk sizes sum"):
+            Cover.from_dense(np.zeros(4, dtype=bool), (3,))
+        with pytest.raises(ValueError, match="segments"):
+            Cover([np.zeros(1, dtype=np.uint8)], (4, 4))
+
+
+class TestLazySegments:
+    def test_thunks_materialise_once(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return np.packbits(np.array([True, False, True], dtype=bool))
+
+        cover = Cover([thunk], (3,))
+        assert not cover.is_materialized(0)
+        assert cover.count() == 2
+        assert cover.is_materialized(0)
+        cover.count()
+        assert len(calls) == 1
+
+    def test_thunk_shape_validated(self):
+        cover = Cover([lambda: np.zeros(9, dtype=np.uint8)], (3,))
+        with pytest.raises(ValueError, match="expected"):
+            cover.segment(0)
+
+
+class TestPickle:
+    @given(mask_and_chunks(max_rows=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_and_size_bound(self, mc):
+        mask, sizes = mc
+        cover = Cover.from_dense(mask, sizes)
+        blob = pickle.dumps(cover, protocol=pickle.HIGHEST_PROTOCOL)
+        # packed payload plus bounded per-chunk overhead — never the
+        # dense mask (1 byte/row) and never 8-byte codes
+        assert len(blob) <= mask.shape[0] // 8 + 120 * (len(sizes) + 1)
+        restored = pickle.loads(blob)
+        assert restored.chunk_sizes == cover.chunk_sizes
+        assert np.array_equal(restored.to_dense(), mask)
+
+    def test_lazy_segments_pickle_materialised(self):
+        cover = Cover(
+            [lambda: np.packbits(np.ones(10, dtype=bool))], (10,)
+        )
+        restored = pickle.loads(pickle.dumps(cover))
+        assert restored.is_materialized(0)
+        assert restored.count() == 10

@@ -1,7 +1,5 @@
 """Tests for the level-parallel mining scheduler and the unified API."""
 
-import warnings
-
 import numpy as np
 import pytest
 
@@ -112,87 +110,27 @@ class TestPruneParity:
         ]
 
 
-class TestDeprecatedShims:
-    def test_mine_parallel_warns_and_delegates(self, small_trace):
-        from repro.parallel import mine_parallel
+class TestRemovedShims:
+    """The PR-7 deprecation shims are gone: the unified mine() is the
+    only entry point, and the module namespace says so."""
 
-        config = MinerConfig(k=10, max_tree_depth=1)
-        with pytest.warns(DeprecationWarning, match="mine_parallel"):
-            result = mine_parallel(small_trace, config, n_workers=2)
-        assert isinstance(result, MiningResult)
-        assert result.patterns
-        assert result.n_workers == 2
-        assert len(result.top(3)) <= 3
+    def test_mine_parallel_removed(self):
+        import repro.parallel
+        import repro.parallel.scheduler
 
-    def test_mine_parallel_routes_through_pipeline(self, small_trace):
-        """The shim reaches the same pipeline-built engine: per-rule
-        pruning accounting is populated exactly as in a direct mine()."""
-        from repro.parallel import mine_parallel
+        with pytest.raises(ImportError):
+            from repro.parallel import mine_parallel  # noqa: F401
+        assert not hasattr(repro.parallel.scheduler, "mine_parallel")
+        assert "mine_parallel" not in repro.parallel.__all__
 
-        config = MinerConfig(k=10, max_tree_depth=1)
-        with pytest.warns(DeprecationWarning, match="mine_parallel"):
-            shimmed = mine_parallel(small_trace, config, n_workers=2)
-        direct = ContrastSetMiner(config).mine(small_trace, n_jobs=2)
-        assert shimmed.stats.prune_rule_checks  # pipeline ran
-        assert (
-            shimmed.stats.prune_rule_checks
-            == direct.stats.prune_rule_checks
-        )
-        assert shimmed.stats.prune_reasons == direct.stats.prune_reasons
+    def test_parallel_mining_result_removed(self):
+        import repro.parallel
+        import repro.parallel.scheduler
 
-    def test_parallel_mining_result_alias(self):
-        with pytest.warns(DeprecationWarning, match="ParallelMiningResult"):
-            from repro.parallel import ParallelMiningResult
-        assert ParallelMiningResult is MiningResult
-
-    def test_mine_parallel_rejects_unexpected_kwargs(self, small_trace):
-        """Regression: a typo'd kwarg used to be swallowed silently; it
-        must raise like any normal function call would."""
-        from repro.parallel import mine_parallel
-
-        config = MinerConfig(k=10, max_tree_depth=1)
-        with pytest.raises(
-            TypeError, match="unexpected keyword argument.*n_jobs"
-        ):
-            mine_parallel(small_trace, config, n_jobs=2)
-        with pytest.raises(
-            TypeError, match="unexpected keyword argument.*checkpoints"
-        ):
-            mine_parallel(small_trace, config, checkpoints="/tmp/x")
-
-    def test_mine_parallel_rejects_before_warning(self, small_trace):
-        """The TypeError beats the DeprecationWarning: a broken call
-        should not count as a deprecated-API use."""
-        from repro.parallel import mine_parallel
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            with pytest.raises(TypeError):
-                mine_parallel(small_trace, bogus=1)
-        assert not [
-            w
-            for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-
-    def test_mine_parallel_forwards_known_kwargs(
-        self, small_trace, tmp_path
-    ):
-        """Supported kwargs reach the unified mine(): checkpoint_dir
-        produces level checkpoints through the shim too."""
-        from repro.parallel import mine_parallel
-
-        config = MinerConfig(k=10, max_tree_depth=1)
-        with pytest.warns(DeprecationWarning, match="mine_parallel"):
-            result = mine_parallel(
-                small_trace,
-                config,
-                n_workers=2,
-                checkpoint_dir=tmp_path,
-            )
-        assert isinstance(result, MiningResult)
-        assert list(tmp_path.glob("checkpoint-level-*.pkl"))
-        assert result.summary().n_checkpoints >= 1
+        with pytest.raises(ImportError):
+            from repro.parallel import ParallelMiningResult  # noqa: F401
+        with pytest.raises(AttributeError):
+            repro.parallel.scheduler.ParallelMiningResult
 
 
 class TestParallelSearch:

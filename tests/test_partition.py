@@ -273,3 +273,120 @@ def test_median_split_partition_property(values):
     median = float(np.median(values))
     if median < values.max():
         assert n_right <= len(values) / 2 + 1
+
+
+class _FakeChunkedColumn:
+    """Minimal chunked-dataset duck type for the streaming selector."""
+
+    def __init__(self, chunks):
+        self._chunks = [np.asarray(c, dtype=np.float64) for c in chunks]
+
+    def iter_chunk_columns(self, name):
+        assert name == "x"
+        yield from self._chunks
+
+
+def _dense_median_expectation(values):
+    """The gather path's split point (None when unsplittable)."""
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return None
+    vmin, vmax = float(finite.min()), float(finite.max())
+    if vmin == vmax:
+        return None
+    median = float(np.median(finite))
+    if median >= vmax:
+        median = float(np.unique(finite)[-2])
+    return median
+
+
+class TestStreamingMedian:
+    """The streaming selector reproduces np.median to the bit, with the
+    gather fallback forced off via tiny budgets."""
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-50, max_value=50).map(float),
+                    st.floats(
+                        min_value=-1e6,
+                        max_value=1e6,
+                        allow_nan=False,
+                    ),
+                    st.just(float("nan")),
+                ),
+                min_size=0,
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_np_median_bitwise(self, chunks, data):
+        from repro.core import partition as part
+        from repro.core.cover import Cover
+
+        sizes = tuple(len(c) for c in chunks)
+        all_values = np.concatenate(
+            [np.asarray(c, dtype=np.float64) for c in chunks]
+        ) if chunks else np.zeros(0)
+        mask = np.array(
+            data.draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=all_values.size,
+                    max_size=all_values.size,
+                )
+            ),
+            dtype=bool,
+        )
+        cover = Cover.from_dense(mask, sizes)
+        fake = _FakeChunkedColumn(chunks)
+        # Force the pivot loop to actually narrow: the gather fallback
+        # only fires once the window is tiny.
+        old = part._STREAM_GATHER_FALLBACK
+        part._STREAM_GATHER_FALLBACK = 4
+        try:
+            got = part._streaming_median_split(fake, cover, "x")
+        finally:
+            part._STREAM_GATHER_FALLBACK = old
+        expected = _dense_median_expectation(all_values[mask])
+        if expected is None:
+            assert got is None
+        else:
+            assert got == expected  # bit-identical, not approx
+
+    def test_partition_median_streams_large_spaces(self, monkeypatch):
+        """Above the gather budget, partition_median takes the streaming
+        path and still produces the dense split point exactly."""
+        from repro.core import partition as part
+        from repro.core.cover import Cover
+
+        monkeypatch.setattr(part, "MEDIAN_GATHER_BUDGET", 8)
+        monkeypatch.setattr(part, "_STREAM_GATHER_FALLBACK", 4)
+        rng = np.random.default_rng(7)
+        chunks = [rng.normal(size=20) for _ in range(4)]
+        values = np.concatenate(chunks)
+        sizes = (20, 20, 20, 20)
+
+        class _FakeDataset(_FakeChunkedColumn):
+            n_rows = 80
+
+        fake = _FakeDataset(chunks)
+        cover = Cover.full(sizes)
+        ranges = {"x": AttributeRange("x", float(values.min()),
+                                      float(values.max()))}
+        space = Space(
+            {"x": Interval(float(values.min()), float(values.max()),
+                           True, True)},
+            cover,
+            np.array([80], dtype=np.int64),
+            ranges,
+        )
+        assert space.total_count > part.MEDIAN_GATHER_BUDGET
+        halves = partition_median(fake, space, "x")
+        assert halves is not None
+        assert halves[0].hi == float(np.median(values))
