@@ -14,9 +14,10 @@ server path is exercised for real (the run is persisted and re-loaded,
 not handed over in memory).
 
 Run standalone:  PYTHONPATH=src python benchmarks/bench_serve_throughput.py
-(standalone runs also refresh the committed ``BENCH_serve.json`` at the
-repo root — see ``bench_artifacts.py``).  Under pytest the bench runs as
-a smoke check with CI-floor assertions only.
+The committed ``BENCH_serve.json`` (schema v2) is owned by
+``bench_serve_slo.py``, which folds this bench's closed-loop numbers
+into its ``throughput`` section.  Under pytest the bench runs as a
+smoke check with CI-floor assertions only.
 """
 
 from __future__ import annotations
@@ -180,16 +181,13 @@ def test_serve_throughput(report):
 
 
 def main() -> None:
-    from bench_artifacts import write_bench_artifact
-
     text, stats = run_bench()
     print(text)
     out = Path(__file__).parent / "out"
     out.mkdir(exist_ok=True)
     (out / "bench_serve_throughput.txt").write_text(text + "\n")
-    artifact = write_bench_artifact("serve", stats)
     print(f"\nwrote {out / 'bench_serve_throughput.txt'}")
-    print(f"wrote {artifact}")
+    print("(BENCH_serve.json is refreshed by bench_serve_slo.py)")
 
 
 if __name__ == "__main__":

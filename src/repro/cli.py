@@ -335,6 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256,
         help="query responses kept in the LRU cache (default 256)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "serving processes sharing the port via SO_REUSEPORT "
+            "(default 1: single in-process server)"
+        ),
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.25,
+        help=(
+            "seconds between store polls in multi-worker mode; new runs "
+            "appearing in the store hot-swap automatically (default 0.25)"
+        ),
+    )
 
     dataset_p = sub.add_parser(
         "dataset",
@@ -845,15 +859,23 @@ def _cmd_serve(args) -> int:
     server = PatternServer(
         store,
         ServeConfig(
-            host=args.host, port=args.port, cache_size=args.cache_size
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            workers=args.workers,
+            store_poll_interval=args.poll_interval,
         ),
     )
     run_id = store.latest() if args.run == "latest" else args.run
     if run_id is None:
         raise StoreError(f"store {args.store} holds no runs yet")
-    server.publish_run(run_id)
+    if args.workers <= 1:
+        # Multi-worker pools publish inside each worker (they follow the
+        # store themselves); pre-publishing here only applies in-process.
+        server.publish_run(run_id)
+    workers = f", {args.workers} workers" if args.workers > 1 else ""
     print(
-        f"serving store {args.store} (active run {run_id}) "
+        f"serving store {args.store} (active run {run_id}{workers}) "
         f"on http://{args.host}:{args.port} — Ctrl-C to stop"
     )
     server.serve_forever()

@@ -12,7 +12,13 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["MiningStats", "Stopwatch", "EndpointStats", "ServeMetrics"]
+__all__ = [
+    "MiningStats",
+    "Stopwatch",
+    "EndpointStats",
+    "ServeMetrics",
+    "merge_endpoint_snapshots",
+]
 
 
 @dataclass
@@ -197,6 +203,46 @@ class EndpointStats:
             "p50_ms": self.percentile(50.0) * 1000.0,
             "p99_ms": self.percentile(99.0) * 1000.0,
         }
+
+
+def merge_endpoint_snapshots(snapshots) -> dict:
+    """Merge per-endpoint snapshots from several serving processes.
+
+    ``snapshots`` is an iterable of :meth:`ServeMetrics.snapshot` dicts
+    (one per worker).  Request and error counts sum exactly — that is
+    the invariant the multi-worker hammer test asserts against
+    client-observed totals.  ``mean_ms`` merges request-weighted;
+    ``p50_ms``/``p99_ms`` cannot be merged exactly from summaries, so
+    the merged view reports the worst (max) worker's value as a
+    conservative bound (per-worker exact percentiles stay available in
+    the unmerged snapshots).
+    """
+    merged: dict[str, dict] = {}
+    weighted_ms: dict[str, float] = {}
+    for snapshot in snapshots:
+        for name, stats in snapshot.items():
+            agg = merged.setdefault(
+                name,
+                {
+                    "requests": 0,
+                    "errors": 0,
+                    "mean_ms": 0.0,
+                    "p50_ms": 0.0,
+                    "p99_ms": 0.0,
+                },
+            )
+            requests = int(stats.get("requests", 0))
+            agg["requests"] += requests
+            agg["errors"] += int(stats.get("errors", 0))
+            weighted_ms[name] = weighted_ms.get(name, 0.0) + (
+                float(stats.get("mean_ms", 0.0)) * requests
+            )
+            agg["p50_ms"] = max(agg["p50_ms"], float(stats.get("p50_ms", 0.0)))
+            agg["p99_ms"] = max(agg["p99_ms"], float(stats.get("p99_ms", 0.0)))
+    for name, agg in merged.items():
+        if agg["requests"]:
+            agg["mean_ms"] = weighted_ms[name] / agg["requests"]
+    return merged
 
 
 class ServeMetrics:

@@ -26,8 +26,10 @@ Quickstart::
 """
 
 from .index import IndexedPattern, MatchError, PatternIndex, row_from_dataset
+from .plan import MatcherPlan
 from .query import Query, QueryError, apply_query, encode_entry
 from .server import HTTPError, PatternServer, ServeConfig
+from .workers import WorkerPool, reuseport_available
 from .store import (
     CorruptRunError,
     PatternStore,
@@ -47,6 +49,7 @@ __all__ = [
     "PatternIndex",
     "IndexedPattern",
     "MatchError",
+    "MatcherPlan",
     "row_from_dataset",
     "Query",
     "QueryError",
@@ -55,4 +58,6 @@ __all__ = [
     "PatternServer",
     "ServeConfig",
     "HTTPError",
+    "WorkerPool",
+    "reuseport_available",
 ]

@@ -10,10 +10,17 @@ requests already executing keep their whole index.
 The point-lookup :meth:`PatternIndex.match` answers the online inference
 question — *which patterns cover this record?* — against the patterns'
 own interval/categorical items, without touching the training dataset.
+``match`` is the readable reference scan; the serving hot path goes
+through :attr:`PatternIndex.plan`, a compiled
+:class:`~repro.serve.plan.MatcherPlan` (columnar numpy lowering of the
+same items) whose :meth:`~repro.serve.plan.MatcherPlan.match_batch`
+evaluates whole row batches against all patterns at once — bit-identical
+to the scan, pinned by ``tests/test_matcher_plan.py``.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -98,9 +105,54 @@ class PatternIndex:
             name: tuple(ranks) for name, ranks in by_group.items()
         }
         self._orders: dict[tuple[str, bool], tuple[int, ...]] = {}
+        self._plan = None
+        self._fragments: tuple[str, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    @property
+    def plan(self):
+        """The compiled :class:`~repro.serve.plan.MatcherPlan`.
+
+        Built once on first use and cached alongside the index — the
+        index is immutable, so the plan can never go stale.  The server
+        touches this property at publish time so hot-swapped runs pay
+        the compilation before the first request, not during it.
+        """
+        plan = self._plan
+        if plan is None:
+            from .plan import MatcherPlan
+
+            plan = self._plan = MatcherPlan(self.entries)
+        return plan
+
+    def rendered_entry(self, rank: int) -> str:
+        """The compact JSON wire shape of one entry, rendered once.
+
+        Entries are immutable, so their encoded form is a constant of
+        the index; re-encoding ~25 matched patterns per row was the
+        serving layer's dominant cost before this cache (the match
+        itself is vectorized and cheap).  Byte-identical to
+        ``json.dumps(encode_entry(entry), separators=(",", ":"))``.
+        """
+        fragments = self._fragments
+        if fragments is None:
+            from .query import encode_entry
+
+            fragments = self._fragments = tuple(
+                json.dumps(encode_entry(entry), separators=(",", ":"))
+                for entry in self.entries
+            )
+        return fragments[rank]
+
+    def rendered_matches(self, entries: Iterable[IndexedPattern]) -> str:
+        """Compact JSON array of entry wire shapes (see
+        :meth:`rendered_entry`); byte-identical to dumping
+        ``match_payload(entries)`` with ``separators=(",", ":")``."""
+        return "[%s]" % ",".join(
+            self.rendered_entry(entry.rank) for entry in entries
+        )
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -143,16 +195,29 @@ class PatternIndex:
         row missing one of the pattern's attributes does not match it
         (coverage cannot be established).  Attributes in the row that no
         pattern mentions are ignored.
+
+        The row is validated once up front (via the plan), so a
+        non-numeric value for a numerically-constrained attribute raises
+        the same deterministic :class:`MatchError` regardless of pattern
+        order — never a partial scan result.
         """
-        if not isinstance(row, Mapping):
-            raise MatchError(
-                f"row must be a mapping, got {type(row).__name__}"
-            )
+        self.plan.validate_row(row)
         matched: list[IndexedPattern] = []
         for entry in self.entries:
             if self._covers(entry.pattern.itemset, row):
                 matched.append(entry)
         return matched
+
+    def match_batch(
+        self, rows: Sequence[Mapping[str, Any]]
+    ) -> list[list[IndexedPattern]]:
+        """Vectorized :meth:`match` over a batch of rows (the hot path).
+
+        Delegates to the compiled plan: every row is evaluated against
+        all patterns with a handful of array ops.  Row ``i``'s result is
+        bit-identical to ``match(rows[i])``.
+        """
+        return self.plan.match_batch(rows)
 
     @staticmethod
     def _covers(itemset: Itemset, row: Mapping[str, Any]) -> bool:

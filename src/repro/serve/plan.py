@@ -1,0 +1,242 @@
+"""Compiled matcher plans: pattern items lowered to columnar numpy.
+
+The per-request cost of :meth:`PatternIndex.match` is a Python loop over
+every pattern and every item — fine for a handful of lookups, hopeless
+for production traffic.  A :class:`MatcherPlan` compiles one run's
+patterns **once** (at index build / hot-swap time) into flat numpy
+structures:
+
+* per categorical attribute: a label → code table for the values any
+  pattern mentions, plus aligned ``(item code, pattern index)`` arrays;
+* per continuous attribute: aligned ``lo`` / ``hi`` bound arrays with
+  their closure flags and the owning pattern index;
+* per pattern: its item count.
+
+Because an itemset holds **at most one item per attribute**, the pattern
+indexes within one attribute's arrays are unique — a whole ``(B, items)``
+satisfaction block scatters into the ``(B, patterns)`` tally with a
+single fancy-indexed ``+=``, no conflict resolution needed.  A row batch
+is then evaluated against *all* patterns in a handful of array ops: a
+pattern matches a row exactly when its satisfied-item tally equals its
+item count.
+
+Semantics are pinned (by ``tests/test_matcher_plan.py``) to be
+bit-identical to the reference scan :meth:`PatternIndex.match` and to
+brute-force :meth:`Itemset.cover`:
+
+* a row missing one of a pattern's attributes does not match it;
+* an unseen category label (or any non-string value, booleans included)
+  never matches a categorical item;
+* interval membership follows the items' own endpoint closure; ``NaN``
+  matches nothing;
+* a non-numeric value for an attribute any pattern constrains
+  numerically is a :class:`MatchError` — raised **deterministically** by
+  the up-front validators here (attributes checked in sorted order,
+  rows in input order), never mid-scan dependent on pattern order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.items import CategoricalItem, NumericItem
+from .index import MatchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import IndexedPattern
+
+__all__ = ["MatcherPlan"]
+
+
+class _CategoricalBlock:
+    """All categorical items of one attribute, across every pattern."""
+
+    __slots__ = ("code_of", "item_codes", "patterns")
+
+    def __init__(self) -> None:
+        self.code_of: dict[str, int] = {}
+        self.item_codes: Any = []  # list while building, ndarray when frozen
+        self.patterns: Any = []
+
+    def add(self, value: str, pattern: int) -> None:
+        code = self.code_of.setdefault(value, len(self.code_of))
+        self.item_codes.append(code)
+        self.patterns.append(pattern)
+
+    def freeze(self) -> None:
+        self.item_codes = np.asarray(self.item_codes, dtype=np.int64)
+        self.patterns = np.asarray(self.patterns, dtype=np.intp)
+
+
+class _NumericBlock:
+    """All numeric items of one attribute, across every pattern."""
+
+    __slots__ = ("lo", "hi", "lo_closed", "hi_closed", "patterns")
+
+    def __init__(self) -> None:
+        self.lo: Any = []
+        self.hi: Any = []
+        self.lo_closed: Any = []
+        self.hi_closed: Any = []
+        self.patterns: Any = []
+
+    def add(self, item: NumericItem, pattern: int) -> None:
+        self.lo.append(item.interval.lo)
+        self.hi.append(item.interval.hi)
+        self.lo_closed.append(item.interval.lo_closed)
+        self.hi_closed.append(item.interval.hi_closed)
+        self.patterns.append(pattern)
+
+    def freeze(self) -> None:
+        self.lo = np.asarray(self.lo, dtype=np.float64)
+        self.hi = np.asarray(self.hi, dtype=np.float64)
+        self.lo_closed = np.asarray(self.lo_closed, dtype=bool)
+        self.hi_closed = np.asarray(self.hi_closed, dtype=bool)
+        self.patterns = np.asarray(self.patterns, dtype=np.intp)
+
+
+class MatcherPlan:
+    """One run's patterns, compiled for vectorized point/batch lookup."""
+
+    __slots__ = (
+        "entries",
+        "item_counts",
+        "_categorical",
+        "_numeric",
+        "numeric_attributes",
+    )
+
+    def __init__(self, entries: Sequence["IndexedPattern"]) -> None:
+        self.entries = tuple(entries)
+        n = len(self.entries)
+        self.item_counts = np.zeros(n, dtype=np.int64)
+        categorical: dict[str, _CategoricalBlock] = {}
+        numeric: dict[str, _NumericBlock] = {}
+        for position, entry in enumerate(self.entries):
+            for item in entry.pattern.itemset:
+                self.item_counts[position] += 1
+                if isinstance(item, CategoricalItem):
+                    block = categorical.get(item.attribute)
+                    if block is None:
+                        block = categorical[item.attribute] = (
+                            _CategoricalBlock()
+                        )
+                    block.add(item.value, position)
+                else:
+                    nblock = numeric.get(item.attribute)
+                    if nblock is None:
+                        nblock = numeric[item.attribute] = _NumericBlock()
+                    nblock.add(item, position)
+        for block in categorical.values():
+            block.freeze()
+        for nblock in numeric.values():
+            nblock.freeze()
+        self._categorical = categorical
+        self._numeric = numeric
+        self.numeric_attributes: tuple[str, ...] = tuple(sorted(numeric))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.item_counts.sum())
+
+    # -- validation -----------------------------------------------------
+
+    def validate_row(self, row: Mapping[str, Any], where: str = "") -> None:
+        """Raise :class:`MatchError` for a row no pattern could be
+        evaluated against.
+
+        Deterministic on purpose: numerically-constrained attributes are
+        checked in sorted order, so the same bad row always produces the
+        same error regardless of how the run orders its patterns (the
+        old mid-scan check made 4xx-vs-partial-result depend on pattern
+        iteration order).
+        """
+        if not isinstance(row, Mapping):
+            raise MatchError(
+                f"{where}row must be a mapping, got {type(row).__name__}"
+            )
+        for attribute in self.numeric_attributes:
+            if attribute not in row:
+                continue
+            value = row[attribute]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise MatchError(
+                    f"{where}attribute {attribute!r} is continuous; "
+                    f"row value {value!r} is not a number"
+                )
+
+    def validate_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Validate a whole batch up front (row index named in the error)."""
+        for i, row in enumerate(rows):
+            self.validate_row(row, where=f"row {i}: ")
+
+    # -- evaluation -----------------------------------------------------
+
+    def match_mask(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """``(B, n_patterns)`` boolean coverage of pre-validated rows.
+
+        Call :meth:`validate_rows` first; this method assumes every value
+        of a numerically-constrained attribute is a plain number.
+        """
+        n_rows = len(rows)
+        satisfied = np.zeros((n_rows, len(self.entries)), dtype=np.int64)
+        for attribute, block in self._categorical.items():
+            code_of = block.code_of
+            codes = np.fromiter(
+                (
+                    code_of.get(value, -1)
+                    if isinstance(value := row.get(attribute), str)
+                    else -1
+                    for row in rows
+                ),
+                dtype=np.int64,
+                count=n_rows,
+            )
+            # One item per (pattern, attribute) makes the pattern columns
+            # unique here, so the fancy-indexed += cannot collide.
+            satisfied[:, block.patterns] += (
+                codes[:, None] == block.item_codes[None, :]
+            )
+        for attribute, nblock in self._numeric.items():
+            values = np.fromiter(
+                (
+                    float(value)
+                    if isinstance(value := row.get(attribute), (int, float))
+                    and not isinstance(value, bool)
+                    else np.nan
+                    for row in rows
+                ),
+                dtype=np.float64,
+                count=n_rows,
+            )[:, None]
+            above = np.where(
+                nblock.lo_closed, values >= nblock.lo, values > nblock.lo
+            )
+            below = np.where(
+                nblock.hi_closed, values <= nblock.hi, values < nblock.hi
+            )
+            satisfied[:, nblock.patterns] += above & below
+        return satisfied == self.item_counts[None, :]
+
+    def match_batch(
+        self, rows: Sequence[Mapping[str, Any]]
+    ) -> list[list["IndexedPattern"]]:
+        """Per-row matched patterns (run order), for a batch of rows."""
+        self.validate_rows(rows)
+        mask = self.match_mask(rows)
+        entries = self.entries
+        return [
+            [entries[p] for p in np.nonzero(mask[i])[0]]
+            for i in range(len(rows))
+        ]
+
+    def match(self, row: Mapping[str, Any]) -> list["IndexedPattern"]:
+        """Single-row convenience over :meth:`match_batch`."""
+        self.validate_row(row)
+        mask = self.match_mask([row])
+        return [self.entries[p] for p in np.nonzero(mask[0])[0]]

@@ -11,6 +11,7 @@ reference, and answers REST calls::
     GET  /runs/<id>                     one run's metadata + summary
     GET  /runs/<id>/patterns?...        declarative query (see Query)
     POST /match        {"row": {...}}   patterns covering a record
+    POST /match        {"rows": [...]}  batched: patterns per record
 
 Guarantees the tests pin down:
 
@@ -31,11 +32,20 @@ Guarantees the tests pin down:
 Queries are answered from an LRU cache keyed by (run, epoch, canonical
 query string); the epoch in the key means a swap implicitly invalidates
 without locking out readers.
+
+Row matching goes through the active index's compiled
+:class:`~repro.serve.plan.MatcherPlan` — single rows and batches alike
+are evaluated against all patterns with a handful of array ops (the plan
+is built at publish time, so a hot swap pays compilation before the
+first request).  With ``ServeConfig(workers=N)`` the server runs N
+``SO_REUSEPORT`` worker processes instead of one in-process listener;
+see :mod:`repro.serve.workers`.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,7 +57,7 @@ from time import perf_counter
 
 from ..core.instrumentation import ServeMetrics
 from .index import MatchError, PatternIndex
-from .query import Query, QueryError, apply_query, encode_entry, match_payload
+from .query import Query, QueryError, apply_query, encode_entry
 from .store import CorruptRunError, PatternStore, StoreError, UnknownRunError
 
 if TYPE_CHECKING:
@@ -68,12 +78,28 @@ class ServeConfig:
     """Largest accepted request body (413 beyond it)."""
     default_limit: int | None = None
     """Applied to /patterns queries that specify no limit of their own."""
+    max_batch_rows: int = 1024
+    """Largest accepted ``rows`` batch on ``POST /match`` (400 beyond it)."""
+    workers: int = 1
+    """Serving processes.  1 keeps the in-process threaded server; N > 1
+    runs N ``SO_REUSEPORT`` worker processes over the shared store (falls
+    back to the single in-process socket where the platform lacks
+    ``SO_REUSEPORT``)."""
+    store_poll_interval: float = 0.25
+    """How often multi-worker processes poll the store manifest for new
+    runs (the coordination-free hot-swap propagation channel)."""
 
     def __post_init__(self) -> None:
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
+        if self.max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.store_poll_interval <= 0:
+            raise ValueError("store_poll_interval must be > 0")
 
 
 class HTTPError(Exception):
@@ -133,6 +159,90 @@ class _LRUCache:
             }
 
 
+class _RequestHandler(BaseHTTPRequestHandler):
+    """HTTP transport over :meth:`PatternServer.handle`.
+
+    Module-level (rather than closed over in ``start``) so worker
+    processes can reuse it on their own ``SO_REUSEPORT`` listeners.
+    """
+
+    protocol_version = "HTTP/1.1"
+    # Headers and body are flushed as separate segments; without
+    # TCP_NODELAY the second write can stall ~40ms behind Nagle +
+    # delayed ACK, capping keep-alive clients near 25 req/s.
+    disable_nagle_algorithm = True
+
+    @property
+    def app(self) -> "PatternServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _dispatch(self, method: str) -> None:
+        app = self.app
+        length = self.headers.get("Content-Length")
+        body = None
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                n = -1
+            if n < 0 or n > app.config.max_body_bytes:
+                self._reply(
+                    413,
+                    app._render(
+                        {"error": "request body too large", "status": 413}
+                    ),
+                )
+                return
+            body = self.rfile.read(n)
+        status, response, _ = app.handle(method, self.path, body)
+        self._reply(status, response)
+
+    def _reply(self, status: int, response: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(response)))
+        self.end_headers()
+        self.wfile.write(response)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def log_message(self, *args) -> None:  # pragma: no cover
+        pass  # the metrics endpoint replaces stderr chatter
+
+
+class _PatternHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying its app, optionally ``SO_REUSEPORT``."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: "PatternServer",
+        reuse_port: bool = False,
+    ) -> None:
+        self.app = app
+        self._reuse_port = reuse_port
+        super().__init__(address, _RequestHandler)
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        super().server_bind()
+
+
 class PatternServer:
     """Concurrent REST front over a pattern store and published runs."""
 
@@ -153,6 +263,10 @@ class PatternServer:
         self._epoch = 0
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._pool = None
+        self._mode = "single"
+        self._peers = None  # set inside worker processes (metrics merge)
+        self._worker_index: int | None = None
 
     # -- run loading and publication -----------------------------------
 
@@ -187,22 +301,40 @@ class PatternServer:
             except StoreError as exc:
                 raise HTTPError(410, str(exc)) from exc
             index = PatternIndex(stored.patterns, stored.interests)
+            index.plan  # compile the matcher plan before any request sees it
             self._indexes[run_id] = index
             return index
 
-    def _swap_active(self, run_id: str, index: PatternIndex) -> int:
+    def _swap_active(
+        self, run_id: str, index: PatternIndex, epoch: int | None = None
+    ) -> int:
         with self._publish_lock:
-            self._epoch += 1
-            epoch = self._epoch
+            if epoch is None:
+                self._epoch += 1
+                epoch = self._epoch
+            else:
+                # Store-derived epoch (multi-worker convergence): workers
+                # stamp responses with the run's own store sequence so
+                # every process reports the same epoch for the same run
+                # without coordination.  Keep the local counter monotonic.
+                self._epoch = max(self._epoch, epoch)
             # Single reference assignment: requests snapshot self._active
             # once, so they see either the old or the new run, never a mix.
             self._active = _ActiveRun(run_id, epoch, index)
             return epoch
 
-    def publish_run(self, run_id: str) -> int:
+    def _forbid_pooled_publish(self) -> None:
+        if self._pool is not None:
+            raise RuntimeError(
+                "this server runs worker processes; publish by writing "
+                "to the store (workers pick the latest run up themselves)"
+            )
+
+    def publish_run(self, run_id: str, epoch: int | None = None) -> int:
         """Make a store run the active one; returns the new epoch."""
+        self._forbid_pooled_publish()
         index = self._index_of(run_id)
-        return self._swap_active(run_id, index)
+        return self._swap_active(run_id, index, epoch)
 
     def publish_patterns(
         self,
@@ -217,7 +349,9 @@ class PatternServer:
         :class:`~repro.streaming.StreamingContrastMiner` uses: build the
         index off-thread, then swap it in atomically.
         """
+        self._forbid_pooled_publish()
         index = PatternIndex(patterns, interests)
+        index.plan  # compile the matcher plan before any request sees it
         with self._publish_lock:
             if run_id is None:
                 run_id = f"inline-{self._epoch + 1:06d}"
@@ -246,6 +380,12 @@ class PatternServer:
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    @property
+    def mode(self) -> str:
+        """Serving mode: ``single``, ``multi-worker``, or
+        ``single-socket-fallback`` (no ``SO_REUSEPORT`` on the platform)."""
+        return self._mode
 
     # -- request handling ----------------------------------------------
 
@@ -348,14 +488,27 @@ class PatternServer:
             "epoch": active.epoch if active else 0,
         }
 
-    def _do_metrics(self, params, body) -> tuple[int, dict]:
-        self._no_params(params)
-        return 200, {
+    def _local_metrics_payload(self) -> dict:
+        """This process's own counters (one worker's view in pool mode)."""
+        payload = {
+            "mode": self._mode,
             "endpoints": self.metrics.snapshot(),
             "query_cache": self._cache.stats(),
             "epoch": self._epoch,
+            "active_run": self.active_run,
             "loaded_runs": sorted(self._indexes),
         }
+        if self._worker_index is not None:
+            payload["worker"] = self._worker_index
+        return payload
+
+    def _do_metrics(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        if self._peers is not None:
+            # Worker process: merge every sibling's live counters so any
+            # worker the kernel picks answers for the whole pool.
+            return 200, self._peers.merged(self._local_metrics_payload())
+        return 200, self._local_metrics_payload()
 
     def _do_runs(self, params, body) -> tuple[int, dict]:
         self._no_params(params)
@@ -435,53 +588,119 @@ class PatternServer:
         self._cache.put(cache_key, rendered)
         return 200, rendered
 
-    def _do_match(self, params, body) -> tuple[int, dict]:
-        self._no_params(params)
-        request = self._decode_body(body)
-        row = request.get("row")
-        if not isinstance(row, dict):
-            raise HTTPError(400, 'body must carry a "row" object')
-        unknown = set(request) - {"row", "run"}
-        if unknown:
-            raise HTTPError(
-                400, f"unknown body fields: {', '.join(sorted(unknown))}"
-            )
+    @staticmethod
+    def _check_row_values(row: Mapping[str, Any], where: str = "") -> None:
         for name, value in row.items():
             if isinstance(value, bool) or not isinstance(
                 value, (str, int, float)
             ):
                 raise HTTPError(
                     400,
-                    f"row value for {name!r} must be a string or number",
+                    f"{where}row value for {name!r} must be a string "
+                    f"or number",
                 )
+
+    @staticmethod
+    def _row_key(row: Mapping[str, Any]) -> tuple:
+        # repr() in the key keeps 1, 1.0 and "1" distinct.
+        return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+    def _do_match(self, params, body) -> tuple[int, dict]:
+        self._no_params(params)
+        request = self._decode_body(body)
+        if ("row" in request) == ("rows" in request):
+            raise HTTPError(
+                400, 'body must carry exactly one of "row" or "rows"'
+            )
+        unknown = set(request) - {"row", "rows", "run"}
+        if unknown:
+            raise HTTPError(
+                400, f"unknown body fields: {', '.join(sorted(unknown))}"
+            )
         run_ref = request.get("run", "active")
         if not isinstance(run_ref, str):
             raise HTTPError(400, '"run" must be a run id string')
+
+        if "row" in request:
+            row = request["row"]
+            if not isinstance(row, dict):
+                raise HTTPError(400, 'body must carry a "row" object')
+            self._check_row_values(row)
+            resolved_id, epoch, index = self._resolve_run(run_ref)
+            # Per-epoch indexes are immutable, so a row's match response
+            # is a pure function of (run, epoch, row) and can be cached
+            # like a query.
+            cache_key = ("match", resolved_id, epoch, self._row_key(row))
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return 200, cached
+            try:
+                matches = index.match_batch([row])[0]
+            except MatchError as exc:
+                raise HTTPError(400, str(exc)) from exc
+            # Assembled from the index's pre-rendered entry fragments;
+            # byte-identical to ``self._render({...})`` of the dict.
+            rendered = (
+                f'{{"run":{json.dumps(resolved_id)},"epoch":{epoch},'
+                f'"count":{len(matches)},'
+                f'"matches":{index.rendered_matches(matches)}}}\n'
+            ).encode("utf-8")
+            self._cache.put(cache_key, rendered)
+            return 200, rendered
+
+        rows = request["rows"]
+        if not isinstance(rows, list):
+            raise HTTPError(400, '"rows" must be an array of row objects')
+        if len(rows) > self.config.max_batch_rows:
+            raise HTTPError(
+                400,
+                f"batch of {len(rows)} rows exceeds max_batch_rows="
+                f"{self.config.max_batch_rows}",
+            )
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                raise HTTPError(400, f"rows[{i}] must be a row object")
+            self._check_row_values(row, where=f"rows[{i}]: ")
         resolved_id, epoch, index = self._resolve_run(run_ref)
-        # Per-epoch indexes are immutable, so a row's match response is a
-        # pure function of (run, epoch, row) and can be cached like a
-        # query; repr() in the key keeps 1, 1.0 and "1" distinct.
         cache_key = (
-            "match",
+            "match_batch",
             resolved_id,
             epoch,
-            tuple(sorted((k, repr(v)) for k, v in row.items())),
+            tuple(self._row_key(row) for row in rows),
         )
         cached = self._cache.get(cache_key)
         if cached is not None:
             return 200, cached
         try:
-            matches = index.match(row)
+            per_row = index.match_batch(rows)
         except MatchError as exc:
             raise HTTPError(400, str(exc)) from exc
-        rendered = self._render(
-            {
-                "run": resolved_id,
-                "epoch": epoch,
-                "count": len(matches),
-                "matches": match_payload(matches),
-            }
+        # Dictionary-encoded batch response: each row lists the *ranks*
+        # of its matching patterns, and every matched pattern's full wire
+        # shape appears exactly once in "patterns" (keyed by rank as a
+        # JSON string).  A row matching ~25 patterns would otherwise
+        # repeat ~18 KB of identical entries per row; this keeps sustained
+        # batch traffic network-bound on rows, not on duplicate JSON.
+        matched_ranks = sorted(
+            {entry.rank for matches in per_row for entry in matches}
         )
+        patterns_obj = "{%s}" % ",".join(
+            f'"{rank}":{index.rendered_entry(rank)}'
+            for rank in matched_ranks
+        )
+        results = ",".join(
+            '{"count":%d,"matches":[%s]}'
+            % (
+                len(matches),
+                ",".join(str(entry.rank) for entry in matches),
+            )
+            for matches in per_row
+        )
+        rendered = (
+            f'{{"run":{json.dumps(resolved_id)},"epoch":{epoch},'
+            f'"count":{len(rows)},"patterns":{patterns_obj},'
+            f'"results":[{results}]}}\n'
+        ).encode("utf-8")
         self._cache.put(cache_key, rendered)
         return 200, rendered
 
@@ -500,70 +719,39 @@ class PatternServer:
 
     # -- transport ------------------------------------------------------
 
-    def start(self) -> tuple[str, int]:
-        """Bind and serve on a background thread; returns (host, port).
+    def start(self, _reuse_port: bool = False) -> tuple[str, int]:
+        """Bind and serve; returns (host, port).
 
         Pass ``port=0`` in :class:`ServeConfig` to let the OS pick a free
-        port (what the tests and the bench do).
+        port (what the tests and the bench do).  With
+        ``ServeConfig(workers=N)`` (N > 1) and a store, this spawns N
+        ``SO_REUSEPORT`` worker processes instead of binding in-process;
+        where the platform has no ``SO_REUSEPORT`` it falls back to the
+        single in-process socket (recorded as ``mode`` in ``/metrics``).
         """
-        if self._httpd is not None:
+        if self._httpd is not None or self._pool is not None:
             raise RuntimeError("server already started")
-        app = self
+        if self.config.workers > 1 and not _reuse_port:
+            from .workers import WorkerPool, reuseport_available
 
-        class Handler(BaseHTTPRequestHandler):
-            protocol_version = "HTTP/1.1"
-            # Headers and body are flushed as separate segments; without
-            # TCP_NODELAY the second write can stall ~40ms behind Nagle +
-            # delayed ACK, capping keep-alive clients near 25 req/s.
-            disable_nagle_algorithm = True
-
-            def _dispatch(self, method: str) -> None:
-                length = self.headers.get("Content-Length")
-                body = None
-                if length is not None:
-                    try:
-                        n = int(length)
-                    except ValueError:
-                        n = -1
-                    if n < 0 or n > app.config.max_body_bytes:
-                        self._reply(
-                            413,
-                            app._render(
-                                {"error": "request body too large",
-                                 "status": 413}
-                            ),
-                        )
-                        return
-                    body = self.rfile.read(n)
-                status, response, _ = app.handle(method, self.path, body)
-                self._reply(status, response)
-
-            def _reply(self, status: int, response: bytes) -> None:
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(response)))
-                self.end_headers()
-                self.wfile.write(response)
-
-            def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                self._dispatch("GET")
-
-            def do_POST(self) -> None:  # noqa: N802
-                self._dispatch("POST")
-
-            def do_PUT(self) -> None:  # noqa: N802
-                self._dispatch("PUT")
-
-            def do_DELETE(self) -> None:  # noqa: N802
-                self._dispatch("DELETE")
-
-            def log_message(self, *args) -> None:  # pragma: no cover
-                pass  # the metrics endpoint replaces stderr chatter
-
-        self._httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port), Handler
+            if self.store is None:
+                raise RuntimeError(
+                    "multi-worker serving needs a PatternStore (workers "
+                    "converge on the store's latest run)"
+                )
+            if reuseport_available():
+                self._mode = "multi-worker"
+                self._pool = WorkerPool(self.store.root, self.config)
+                try:
+                    return self._pool.start()
+                except BaseException:
+                    self._pool = None
+                    self._mode = "single"
+                    raise
+            self._mode = "single-socket-fallback"
+        self._httpd = _PatternHTTPServer(
+            (self.config.host, self.config.port), self, reuse_port=_reuse_port
         )
-        self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-pattern-server",
@@ -574,15 +762,22 @@ class PatternServer:
 
     def serve_forever(self) -> None:
         """Blocking variant of :meth:`start` (the CLI's ``repro serve``)."""
-        host, port = self.start()
+        self.start()
         try:
-            self._thread.join()
+            if self._pool is not None:
+                self._pool.join()
+            else:
+                self._thread.join()
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             pass
         finally:
             self.stop()
 
     def stop(self) -> None:
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+            self._mode = "single"
         if self._httpd is None:
             return
         self._httpd.shutdown()

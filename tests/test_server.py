@@ -484,3 +484,157 @@ class TestStreamingPublish:
         update = miner.update(columns, dataset.group_codes)
         assert update.refreshed  # the stream survived
         assert miner.failed_publishes == 1
+
+
+class TestBatchMatch:
+    """POST /match with "rows": row-for-row agreement with single calls.
+
+    The batch response is dictionary-encoded: ``results[i].matches``
+    lists pattern *ranks* and ``patterns`` carries each matched
+    pattern's full wire shape exactly once, keyed by rank.  Expanding a
+    row's ranks through the table must reproduce the single-row call's
+    ``matches`` byte-for-byte.
+    """
+
+    def test_batch_agrees_with_single_calls(self, served):
+        dataset, _, _, run_id, _, host, port = served
+        rows = [row_from_dataset(dataset, i) for i in range(40)]
+        singles = []
+        for row in rows:
+            status, body = _post(host, port, "/match", {"row": row})
+            assert status == 200, body
+            singles.append(json.loads(body))
+        status, body = _post(host, port, "/match", {"rows": rows})
+        assert status == 200, body
+        payload = json.loads(body)
+        assert payload["run"] == run_id
+        assert payload["count"] == len(rows)
+        assert len(payload["results"]) == len(rows)
+        table = payload["patterns"]
+        for single, batched in zip(singles, payload["results"]):
+            expanded = [table[str(rank)] for rank in batched["matches"]]
+            assert expanded == single["matches"]
+            assert batched["count"] == single["count"]
+        # the table carries exactly the union of matched ranks
+        assert set(table) == {
+            str(rank)
+            for res in payload["results"]
+            for rank in res["matches"]
+        }
+
+    def test_batch_response_is_cached(self, served):
+        dataset, _, _, _, server, host, port = served
+        rows = [row_from_dataset(dataset, i) for i in (3, 5)]
+        _, body1 = _post(host, port, "/match", {"rows": rows})
+        hits_before = server._cache.stats()["hits"]
+        _, body2 = _post(host, port, "/match", {"rows": rows})
+        assert body1 == body2
+        assert server._cache.stats()["hits"] > hits_before
+
+    def test_row_and_rows_together_400(self, served):
+        *_, host, port = served
+        status, body = _post(
+            host, port, "/match", {"row": {"x": 0.1}, "rows": []}
+        )
+        assert status == 400
+        assert "exactly one" in json.loads(body)["error"]
+
+    def test_rows_not_an_array_400(self, served):
+        *_, host, port = served
+        status, body = _post(host, port, "/match", {"rows": {"x": 1}})
+        assert status == 400
+        assert "array" in json.loads(body)["error"]
+
+    def test_rows_element_not_object_400(self, served):
+        *_, host, port = served
+        status, body = _post(
+            host, port, "/match", {"rows": [{"x": 0.1}, 7]}
+        )
+        assert status == 400
+        assert "rows[1]" in json.loads(body)["error"]
+
+    def test_bad_row_in_batch_names_the_row(self, served):
+        *_, host, port = served
+        status, body = _post(
+            host, port, "/match", {"rows": [{"x": 0.1}, {"x": "hot"}]}
+        )
+        assert status == 400
+        assert "row 1" in json.loads(body)["error"]
+
+    def test_oversized_batch_400(self, mined, tmp_path):
+        dataset, result = mined
+        store = PatternStore(tmp_path / "store")
+        run_id = store.put(result)
+        server = PatternServer(
+            store, ServeConfig(port=0, max_batch_rows=4)
+        )
+        server.publish_run(run_id)
+        host, port = server.start()
+        try:
+            rows = [row_from_dataset(dataset, i) for i in range(5)]
+            status, body = _post(host, port, "/match", {"rows": rows})
+            assert status == 400
+            assert "max_batch_rows" in json.loads(body)["error"]
+            assert _post(
+                host, port, "/match", {"rows": rows[:4]}
+            )[0] == 200
+        finally:
+            server.stop()
+
+    def test_empty_batch_ok(self, served):
+        *_, host, port = served
+        status, body = _post(host, port, "/match", {"rows": []})
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == 0
+        assert payload["results"] == []
+
+
+class TestDeterministicMatchErrors:
+    """Row validation happens before any pattern is scanned.
+
+    Regression for the order-dependence bug: ``_covers`` used to raise
+    mid-scan, so whether a bad row produced a 400 or a partial result
+    depended on which pattern the scan hit first.  Now the row is
+    validated once up front, so the same bad row fails identically no
+    matter how the patterns are ordered.
+    """
+
+    def _indexes_in_both_orders(self):
+        patterns, interests = _hand_built_run("red", 0.0, 0.5)
+        forward = PatternIndex(patterns, interests)
+        backward = PatternIndex(list(reversed(patterns)), interests)
+        return forward, backward
+
+    def test_bad_numeric_value_raises_in_any_pattern_order(self):
+        from repro.serve.index import MatchError
+
+        forward, backward = self._indexes_in_both_orders()
+        # 'color' matches fine; 'x' carries a non-number.  With the old
+        # mid-scan validation the backward order (numeric pattern last)
+        # returned the categorical match before blowing up.
+        bad = {"color": "red", "x": "hot"}
+        messages = []
+        for index in (forward, backward):
+            with pytest.raises(MatchError) as excinfo:
+                index.match(bad)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        assert "'x'" in messages[0]
+
+    def test_batch_error_names_first_bad_row(self):
+        from repro.serve.index import MatchError
+
+        forward, _ = self._indexes_in_both_orders()
+        rows = [{"color": "red", "x": 0.2}, {"x": True}, {"x": "bad"}]
+        with pytest.raises(MatchError) as excinfo:
+            forward.match_batch(rows)
+        assert str(excinfo.value).startswith("row 1: ")
+
+    def test_missing_attribute_is_no_match_not_error(self):
+        forward, backward = self._indexes_in_both_orders()
+        row = {"color": "red"}  # no 'x' at all: fine, just no coverage
+        assert [e.pattern for e in forward.match(row)] == [
+            e.pattern for e in backward.match(row)
+        ]
+        assert len(forward.match(row)) == 1
